@@ -1,0 +1,108 @@
+"""Experiment F3 — regenerate Figure 3: the universal construction loop
+(draw G ∈ G_{k,1/2} → run the decider → accept/redraw).
+
+Series reported: mean number of loop iterations vs the language's density
+P[G ∈ L] under G_{k,1/2} (geometric repeats, paper Remark 1), plus one
+full-fidelity run where both the drawing (per-edge interaction coins) and
+the decision (TM on a line of agents) run at rule level.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.generic import (
+    UniversalConstructor,
+    expected_attempts,
+    language_probability,
+)
+from repro.tm.deciders import registry
+
+
+def test_figure3_attempts_match_language_density(benchmark):
+    deciders = registry()
+    k_pop = 20  # population; useful space 10
+    cases = ["even-edges", "min-degree-1", "connected", "has-edge"]
+    print("\n=== Figure 3: loop iterations vs language density ===")
+    print(f"{'language':>14} {'P[G in L]':>10} {'E[attempts]':>12} {'measured':>10}")
+    for name in cases:
+        decider = deciders[name]
+        p = language_probability(decider, k_pop // 2, 3000, seed=1)
+        attempts = [
+            UniversalConstructor(decider, rule_level=False)
+            .construct(k_pop, seed=seed)
+            .attempts
+            for seed in range(250)
+        ]
+        measured = statistics.fmean(attempts)
+        print(
+            f"{name:>14} {p:>10.3f} {expected_attempts(p):>12.2f} "
+            f"{measured:>10.2f}"
+        )
+        if p > 0.05:
+            assert abs(measured - expected_attempts(p)) < 0.6 * expected_attempts(p)
+    benchmark.pedantic(
+        lambda: UniversalConstructor(
+            deciders["even-edges"], rule_level=False
+        ).construct(k_pop, seed=0),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_figure3_full_rule_level_fidelity(benchmark):
+    """One complete run with no shortcuts: interaction-level coins AND
+    the decider TM executed on a line of agents."""
+    decider = registry()["even-edges"]
+    uc = UniversalConstructor(decider, rule_level=True, decide_on_line=True)
+    report = uc.construct(12, seed=9)
+    print(
+        f"\nFigure 3 full-fidelity: attempts={report.attempts} "
+        f"interaction_steps={report.interaction_steps} "
+        f"coin_tosses={report.coin_tosses} useful={report.useful_space}"
+    )
+    assert report.graph.number_of_edges() % 2 == 0
+    assert report.decided_on_line
+    assert report.interaction_steps > 0
+    benchmark.pedantic(
+        lambda: UniversalConstructor(
+            decider, rule_level=True, decide_on_line=True
+        ).construct(10, seed=2),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_figure3_equiprobability(benchmark):
+    """All 2^C(k,2) labelled graphs are drawn equiprobably (the paper's
+    equiprobable-constructor property), chi-squared at k=4."""
+    from collections import Counter
+
+    from repro.generic import (
+        chi_square_critical,
+        chi_square_uniformity,
+        graph_signature,
+    )
+    from repro.tm.deciders import PythonDecider
+
+    accept_all = PythonDecider("all", lambda g: True, "O(1)")
+    counts = Counter()
+    draws = 12_000
+    for seed in range(draws):
+        report = UniversalConstructor(accept_all, rule_level=False).construct(
+            8, seed=seed
+        )
+        counts[graph_signature(report.graph)] += 1
+    categories = 2 ** (4 * 3 // 2)  # 64 labelled graphs on k=4
+    stat = chi_square_uniformity(counts, categories)
+    critical = chi_square_critical(categories - 1, alpha=0.001)
+    print(f"\nFigure 3 equiprobability: chi²={stat:.1f} < {critical:.1f} "
+          f"({len(counts)}/{categories} graphs seen)")
+    assert stat < critical
+    benchmark.pedantic(
+        lambda: UniversalConstructor(accept_all, rule_level=False).construct(
+            8, seed=0
+        ),
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,40 @@
+"""Experiment F4 — regenerate Figure 4: the (U, D) partitioning with its
+perfect vertical matching, measured as a function of n (a Θ(n²) maximum
+matching process).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import fitted_exponent, print_sweep, sweep
+from repro.core.simulator import run_to_convergence
+from repro.generic import UDPartition
+from repro.processes import maximum_matching_expectation
+
+
+def test_figure4_partition_shape_and_time(benchmark):
+    means = sweep(UDPartition, (12, 18, 27, 40), 20, measure="last_change")
+    print_sweep(
+        "Figure 4 / (U,D) partitioning (Θ(n²) matching)",
+        means,
+        extra=("matching E[X]", maximum_matching_expectation),
+    )
+    fit = fitted_exponent(means)
+    print(f"fitted: {fit.describe()}")
+    assert 1.6 < fit.exponent < 2.4
+
+    # Shape: equal halves, matched pairwise (Figure 4's layout).
+    protocol = UDPartition()
+    result = run_to_convergence(protocol, 20, seed=4)
+    assert protocol.target_reached(result.config)
+    config = result.config
+    assert len(config.nodes_in_state("qu")) == 10
+    assert len(config.nodes_in_state("qd")) == 10
+    for u in config.nodes_in_state("qu"):
+        (v,) = config.neighbors(u)
+        assert config.state(v) == "qd"
+
+    benchmark.pedantic(
+        lambda: run_to_convergence(UDPartition(), 20, seed=1),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,64 @@
+"""Experiment F7/F8 — regenerate Figures 7 and 8: the three-way (U, D, M)
+partitioning of Theorem 15, built by its four interaction rules.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import fitted_exponent, print_sweep, sweep
+from repro.core.simulator import run_to_convergence
+from repro.core.trace import Trace
+from repro.core.simulator import AgitatedSimulator
+from repro.generic import UDMPartition
+
+
+def test_figure7_partition_shape(benchmark):
+    """Figure 7: qd - qu - qm chains spanning the population."""
+    protocol = UDMPartition()
+    result = run_to_convergence(protocol, 24, seed=2)
+    assert result.converged
+    triples = protocol.triples(result.config)
+    print(f"\nFigure 7: {len(triples)} (qd, qu, qm) chains on n=24")
+    assert len(triples) == 8
+    counts = result.config.state_counts()
+    assert counts.get("qu", 0) == counts.get("qd", 0) == counts.get("qm", 0) == 8
+    benchmark.pedantic(
+        lambda: run_to_convergence(UDMPartition(), 24, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_figure8_rule_usage(benchmark):
+    """Figure 8 walks through the four rules; check all of them fire in a
+    typical execution (including the release rule (qm', qd, 1))."""
+    protocol = UDMPartition()
+    trace = Trace()
+    result = AgitatedSimulator(seed=15).run(protocol, 30, None, trace=trace)
+    assert result.converged
+    fired = set()
+    for event in trace.events:
+        fired.add((event.u_before, event.v_before, event.edge_before))
+    normalized = {tuple(sorted(map(str, (a, b)))) + (c,) for a, b, c in fired}
+    print(f"\nFigure 8: distinct rule applications observed: {len(normalized)}")
+    assert ("q0", "q0", 0) in normalized
+    assert ("q0", "qup", 0) in normalized
+    assert ("qup", "qup", 0) in normalized
+    assert ("qd", "qmp", 1) in normalized  # the release step of Fig. 8(iv)
+    benchmark.pedantic(
+        lambda: run_to_convergence(UDMPartition(), 18, seed=3),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_figure7_convergence_scaling(benchmark):
+    means = sweep(UDMPartition, (12, 18, 27, 39), 15, measure="last_change")
+    print_sweep("Figure 7 / (U,D,M) partitioning time", means)
+    fit = fitted_exponent(means)
+    print(f"fitted: {fit.describe()}")
+    assert 1.4 < fit.exponent < 2.6, fit.describe()
+    benchmark.pedantic(
+        lambda: run_to_convergence(UDMPartition(), 18, seed=5),
+        rounds=3,
+        iterations=1,
+    )

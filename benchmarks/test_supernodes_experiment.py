@@ -1,0 +1,53 @@
+"""Experiment SN — Theorem 18: partitioning into k supernodes of length
+~log2 k with unique names, and the triangle-partition application.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.generic import (
+    layout_configuration,
+    organize_supernodes,
+    read_names,
+    triangle_partition,
+)
+
+
+def test_supernode_scaling(benchmark):
+    print("\n=== Theorem 18 / supernode organization ===")
+    print(f"{'n':>6} {'k':>5} {'line len':>9} {'k*len':>7} {'waste':>6}")
+    for n in (8, 20, 50, 120, 300, 700):
+        layout = organize_supernodes(n)
+        used = layout.k * layout.line_length
+        print(
+            f"{n:>6} {layout.k:>5} {layout.line_length:>9} {used:>7} "
+            f"{len(layout.waste_agents):>6}"
+        )
+        assert used + len(layout.waste_agents) == n
+        # line length = log2(k): the promised logarithmic local memory
+        assert 2 ** layout.line_length >= layout.k
+    benchmark.pedantic(lambda: organize_supernodes(300), rounds=5, iterations=1)
+
+
+def test_supernode_names_and_triangles(benchmark):
+    layout = organize_supernodes(100)  # k = 16 lines of length 4
+    config = layout_configuration(layout)
+    names = read_names(layout, config)
+    assert names == list(range(layout.k))
+    network = triangle_partition(layout)
+    triangles = [
+        c for c in nx.connected_components(network) if len(c) == 3
+    ]
+    print(
+        f"\nTheorem 18 application: k={layout.k} supernodes -> "
+        f"{len(triangles)} triangles + {layout.k % 3} isolated"
+    )
+    assert len(triangles) == layout.k // 3
+    for tri in triangles:
+        assert network.subgraph(tri).number_of_edges() == 3
+    benchmark.pedantic(
+        lambda: triangle_partition(organize_supernodes(100)),
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package that setuptools'
+PEP-660 editable installs require, so ``pip install -e .`` falls back to
+``setup.py develop`` via this shim.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

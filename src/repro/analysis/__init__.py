@@ -1,0 +1,30 @@
+"""Measurement and estimation toolkit for the benchmark harness."""
+
+from repro.analysis.experiments import (
+    MEASURES,
+    Summary,
+    measure_convergence,
+    run_trials,
+    summarize,
+)
+from repro.analysis.fitting import (
+    PowerLawFit,
+    crossover_size,
+    empirical_ratio_curve,
+    fit_power_law,
+)
+from repro.analysis.tables import format_mean_ci, render_table
+
+__all__ = [
+    "MEASURES",
+    "PowerLawFit",
+    "Summary",
+    "crossover_size",
+    "empirical_ratio_curve",
+    "fit_power_law",
+    "format_mean_ci",
+    "measure_convergence",
+    "render_table",
+    "run_trials",
+    "summarize",
+]

@@ -1,0 +1,123 @@
+"""Trial runners: many seeds x many population sizes, with summaries.
+
+The paper measures the expected number of sequential interaction steps to
+convergence under the uniform random scheduler; :func:`measure_convergence`
+estimates it by averaging independent seeded runs of the event-driven
+engine.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.protocol import Protocol
+from repro.core.simulator import AgitatedSimulator, RunResult
+
+#: How to read "the time" off a run result.
+MEASURES: dict[str, Callable[[RunResult], int]] = {
+    # The paper's convergence time for network constructors: the last
+    # step at which the output graph changed.
+    "output": lambda r: r.last_output_change_step,
+    # For the Section 3.3 processes: the last change of any kind.
+    "last_change": lambda r: r.last_change_step,
+    # Total steps until the engine detected stabilization.
+    "steps": lambda r: r.steps,
+    # Number of effective interactions (work performed).
+    "effective": lambda r: r.effective_steps,
+}
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Sample statistics of one (protocol, n) cell."""
+
+    n: int
+    trials: int
+    mean: float
+    stdev: float
+    minimum: int
+    maximum: int
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% confidence half-width of the mean."""
+        if self.trials < 2:
+            return float("inf")
+        return 1.96 * self.stdev / math.sqrt(self.trials)
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        h = self.ci95_halfwidth
+        return (self.mean - h, self.mean + h)
+
+
+def run_trials(
+    protocol_factory: Callable[[], Protocol],
+    n: int,
+    trials: int,
+    *,
+    base_seed: int = 0,
+    measure: str = "output",
+    max_steps: int | None = None,
+    check_interval: int = 1,
+) -> list[int]:
+    """Convergence times of ``trials`` independent runs at size ``n``.
+
+    Seeds are ``base_seed + trial`` for reproducibility; a fresh protocol
+    instance is built per trial so stateful protocols stay isolated.
+    """
+    read = MEASURES[measure]
+    times: list[int] = []
+    for trial in range(trials):
+        protocol = protocol_factory()
+        sim = AgitatedSimulator(seed=base_seed + trial)
+        result = sim.run(
+            protocol,
+            n,
+            max_steps,
+            check_interval=check_interval,
+            require_convergence=max_steps is not None,
+        )
+        times.append(read(result))
+    return times
+
+
+def summarize(n: int, times: Sequence[int]) -> Summary:
+    """Sample statistics for one cell."""
+    return Summary(
+        n=n,
+        trials=len(times),
+        mean=statistics.fmean(times),
+        stdev=statistics.stdev(times) if len(times) > 1 else 0.0,
+        minimum=min(times),
+        maximum=max(times),
+    )
+
+
+def measure_convergence(
+    protocol_factory: Callable[[], Protocol],
+    ns: Iterable[int],
+    trials: int,
+    *,
+    base_seed: int = 0,
+    measure: str = "output",
+    max_steps: int | None = None,
+    check_interval: int = 1,
+) -> dict[int, Summary]:
+    """Sweep population sizes and summarize convergence times."""
+    sweep: dict[int, Summary] = {}
+    for n in ns:
+        times = run_trials(
+            protocol_factory,
+            n,
+            trials,
+            base_seed=base_seed,
+            measure=measure,
+            max_steps=max_steps,
+            check_interval=check_interval,
+        )
+        sweep[n] = summarize(n, times)
+    return sweep

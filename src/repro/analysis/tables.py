@@ -1,0 +1,56 @@
+"""Paper-style table rendering for benchmark reports.
+
+Plain-text (terminal-friendly) renderings of Table 1 and Table 2 from
+measured data, with the paper's claimed orders alongside the fitted ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Column:
+    header: str
+    width: int
+    align: str = ">"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with auto-sized columns."""
+    columns = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    sep = "+".join("-" * (w + 2) for w in columns)
+    sep = f"+{sep}+"
+
+    def fmt_row(cells: Sequence[object]) -> str:
+        body = " | ".join(
+            f"{str(c):>{w}}" for c, w in zip(cells, columns)
+        )
+        return f"| {body} |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in rows)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_mean_ci(mean: float, halfwidth: float) -> str:
+    """``12345 ± 678`` with adaptive precision."""
+    if mean >= 1000:
+        return f"{mean:,.0f} ± {halfwidth:,.0f}"
+    return f"{mean:.1f} ± {halfwidth:.1f}"

@@ -1,0 +1,136 @@
+"""Command-line interface: run constructors and inspect their outputs.
+
+Examples
+--------
+Run a protocol and summarize the stabilized network::
+
+    repro-net run global-star -n 30 --seed 7
+    repro-net run simple-global-line -n 20 --trace
+
+Sweep sizes and fit the growth order::
+
+    repro-net sweep cycle-cover --sizes 20,40,80 --trials 10
+
+List everything available::
+
+    repro-net list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import fit_power_law, measure_convergence
+from repro.core.simulator import run_to_convergence
+from repro.protocols import (
+    CCliques,
+    CycleCover,
+    FastGlobalLine,
+    FasterGlobalLine,
+    GlobalRing,
+    GlobalStar,
+    KRegularConnected,
+    LeaderDrivenLine,
+    SimpleGlobalLine,
+    SpanningNetwork,
+    TwoRegularConnected,
+)
+from repro.viz import component_summary, state_summary
+
+#: name -> zero-argument protocol factory
+PROTOCOLS = {
+    "simple-global-line": SimpleGlobalLine,
+    "fast-global-line": FastGlobalLine,
+    "faster-global-line": FasterGlobalLine,
+    "leader-driven-line": LeaderDrivenLine,
+    "cycle-cover": CycleCover,
+    "global-star": GlobalStar,
+    "global-ring": GlobalRing,
+    "2rc": TwoRegularConnected,
+    "3rc": lambda: KRegularConnected(3),
+    "4rc": lambda: KRegularConnected(4),
+    "3-cliques": lambda: CCliques(3),
+    "4-cliques": lambda: CCliques(4),
+    "spanning-network": SpanningNetwork,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-net",
+        description="Network constructors (Michail & Spirakis, PODC 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one protocol to stabilization")
+    run_p.add_argument("protocol", choices=sorted(PROTOCOLS))
+    run_p.add_argument("-n", type=int, default=20, help="population size")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--max-steps", type=int, default=None, help="step budget (default: none)"
+    )
+
+    sweep_p = sub.add_parser("sweep", help="measure convergence across sizes")
+    sweep_p.add_argument("protocol", choices=sorted(PROTOCOLS))
+    sweep_p.add_argument(
+        "--sizes", default="10,20,40", help="comma-separated population sizes"
+    )
+    sweep_p.add_argument("--trials", type=int, default=10)
+    sweep_p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list available protocols")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    protocol = PROTOCOLS[args.protocol]()
+    result = run_to_convergence(
+        protocol, args.n, seed=args.seed, max_steps=args.max_steps
+    )
+    print(f"protocol      : {protocol.name}")
+    print(f"population    : {args.n}")
+    print(f"converged     : {result.converged} ({result.stop_reason})")
+    print(f"steps         : {result.steps}")
+    print(f"effective     : {result.effective_steps}")
+    print(f"convergence t : {result.convergence_time}")
+    print(f"target reached: {protocol.target_reached(result.config)}")
+    print(f"states        : {state_summary(result.config)}")
+    print("components    :")
+    print(component_summary(result.config))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    factory = PROTOCOLS[args.protocol]
+    sizes = [int(s) for s in args.sizes.split(",")]
+    sweep = measure_convergence(
+        factory, sizes, args.trials, base_seed=args.seed
+    )
+    print(f"{'n':>6} {'mean':>12} {'±95%':>10} {'min':>10} {'max':>10}")
+    for n, summary in sweep.items():
+        print(
+            f"{n:>6} {summary.mean:>12.1f} {summary.ci95_halfwidth:>10.1f} "
+            f"{summary.minimum:>10} {summary.maximum:>10}"
+        )
+    if len(sizes) >= 3:
+        fit = fit_power_law(sizes, [sweep[n].mean for n in sizes])
+        print(f"\nfit: {fit.describe()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(PROTOCOLS):
+            print(name)
+        return 0
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

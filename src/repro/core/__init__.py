@@ -1,0 +1,92 @@
+"""Core model of network constructors (paper Section 3).
+
+Public surface: the protocol abstraction, configurations, fair schedulers,
+the two simulation engines, graph predicates and execution traces.
+"""
+
+from repro.core.configuration import Configuration
+from repro.core.errors import (
+    ConvergenceError,
+    EncodingError,
+    MachineError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.core.protocol import (
+    Distribution,
+    Outcome,
+    Protocol,
+    State,
+    TableProtocol,
+    coin_flip,
+    deterministic,
+    resolve,
+    sample_outcome,
+)
+from repro.core.serialization import (
+    SerializationError,
+    configuration_from_dict,
+    configuration_to_dict,
+    dump_configuration,
+    load_configuration,
+    parallel_time,
+    run_result_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.core.scheduler import (
+    AdversarialLaggardScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ScriptedScheduler,
+    UniformRandomScheduler,
+)
+from repro.core.simulator import (
+    AgitatedSimulator,
+    RunResult,
+    SequentialSimulator,
+    apply_interaction,
+    run_to_convergence,
+)
+from repro.core.trace import Event, Trace
+
+__all__ = [
+    "AdversarialLaggardScheduler",
+    "AgitatedSimulator",
+    "Configuration",
+    "ConvergenceError",
+    "Distribution",
+    "EncodingError",
+    "Event",
+    "MachineError",
+    "Outcome",
+    "Protocol",
+    "ProtocolError",
+    "ReproError",
+    "RoundRobinScheduler",
+    "RunResult",
+    "Scheduler",
+    "ScriptedScheduler",
+    "SequentialSimulator",
+    "SerializationError",
+    "SimulationError",
+    "State",
+    "TableProtocol",
+    "Trace",
+    "UniformRandomScheduler",
+    "apply_interaction",
+    "coin_flip",
+    "configuration_from_dict",
+    "configuration_to_dict",
+    "deterministic",
+    "dump_configuration",
+    "load_configuration",
+    "parallel_time",
+    "resolve",
+    "run_result_to_dict",
+    "run_to_convergence",
+    "sample_outcome",
+    "trace_from_dict",
+    "trace_to_dict",
+]

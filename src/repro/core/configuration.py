@@ -1,0 +1,188 @@
+"""Configurations of a network-constructor system — paper Section 3.1.
+
+A configuration is a mapping ``C : V ∪ E -> Q ∪ {0, 1}`` assigning a state
+to every node and an on/off state to every edge of the complete interaction
+graph.  Nodes are the integers ``0 .. n-1``.  Only *active* edges are stored
+(as adjacency sets), since all edges start inactive and constructions are
+typically sparse.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.core.errors import SimulationError
+from repro.core.protocol import State
+
+
+class Configuration:
+    """Mutable system configuration: node states plus the active-edge set.
+
+    Parameters
+    ----------
+    states:
+        A sequence assigning a state to each node ``0 .. n-1``.
+    active_edges:
+        Iterable of node pairs that are initially active.
+    """
+
+    __slots__ = ("_states", "_adj", "_n_active")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        active_edges: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        self._states: list[State] = list(states)
+        n = len(self._states)
+        self._adj: list[set[int]] = [set() for _ in range(n)]
+        self._n_active = 0
+        for u, v in active_edges:
+            self.set_edge(u, v, 1)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, n: int, state: State) -> "Configuration":
+        """All ``n`` nodes in ``state``, all edges inactive — the model's
+        canonical initial configuration."""
+        if n < 1:
+            raise SimulationError(f"population size must be >= 1, got {n}")
+        return cls([state] * n)
+
+    def copy(self) -> "Configuration":
+        clone = Configuration.__new__(Configuration)
+        clone._states = list(self._states)
+        clone._adj = [set(s) for s in self._adj]
+        clone._n_active = self._n_active
+        return clone
+
+    # ------------------------------------------------------------------
+    # Node states
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return len(self._states)
+
+    def state(self, u: int) -> State:
+        return self._states[u]
+
+    def set_state(self, u: int, state: State) -> None:
+        self._states[u] = state
+
+    def states(self) -> list[State]:
+        """A copy of the node-state vector."""
+        return list(self._states)
+
+    def state_counts(self) -> dict[State, int]:
+        """Multiset of node states (histogram)."""
+        counts: dict[State, int] = {}
+        for s in self._states:
+            counts[s] = counts.get(s, 0) + 1
+        return counts
+
+    def nodes_in_state(self, state: State) -> list[int]:
+        return [u for u, s in enumerate(self._states) if s == state]
+
+    def nodes_where(self, predicate) -> list[int]:
+        """Nodes whose state satisfies ``predicate``."""
+        return [u for u, s in enumerate(self._states) if predicate(s)]
+
+    # ------------------------------------------------------------------
+    # Edge states
+    # ------------------------------------------------------------------
+    def edge_state(self, u: int, v: int) -> int:
+        """0 (inactive) or 1 (active)."""
+        return 1 if v in self._adj[u] else 0
+
+    def set_edge(self, u: int, v: int, state: int) -> None:
+        if u == v:
+            raise SimulationError(f"self-loop requested at node {u}")
+        if state == 1:
+            if v not in self._adj[u]:
+                self._adj[u].add(v)
+                self._adj[v].add(u)
+                self._n_active += 1
+        elif state == 0:
+            if v in self._adj[u]:
+                self._adj[u].discard(v)
+                self._adj[v].discard(u)
+                self._n_active -= 1
+        else:
+            raise SimulationError(f"edge state must be 0 or 1, got {state!r}")
+
+    def degree(self, u: int) -> int:
+        """Active degree of ``u``."""
+        return len(self._adj[u])
+
+    def neighbors(self, u: int) -> frozenset[int]:
+        """Active neighbors of ``u``."""
+        return frozenset(self._adj[u])
+
+    def active_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over active edges as ``(u, v)`` with ``u < v``."""
+        for u, nbrs in enumerate(self._adj):
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    @property
+    def n_active_edges(self) -> int:
+        return self._n_active
+
+    # ------------------------------------------------------------------
+    # Output graph — Definition of G(C) in Section 3.1
+    # ------------------------------------------------------------------
+    def output_graph(self, output_states: frozenset | None = None) -> nx.Graph:
+        """The output graph ``G(C)``: nodes whose state is in ``Qout`` and
+        active edges between them.  ``output_states=None`` means all states
+        are output states (the common case in the paper)."""
+        graph = nx.Graph()
+        if output_states is None:
+            graph.add_nodes_from(range(self.n))
+            graph.add_edges_from(self.active_edges())
+            return graph
+        members = {
+            u for u, s in enumerate(self._states) if s in output_states
+        }
+        graph.add_nodes_from(members)
+        graph.add_edges_from(
+            (u, v)
+            for u, v in self.active_edges()
+            if u in members and v in members
+        )
+        return graph
+
+    def active_subgraph(self, nodes: Iterable[int]) -> nx.Graph:
+        """Active subgraph induced by an arbitrary node subset."""
+        members = set(nodes)
+        graph = nx.Graph()
+        graph.add_nodes_from(members)
+        graph.add_edges_from(
+            (u, v)
+            for u, v in self.active_edges()
+            if u in members and v in members
+        )
+        return graph
+
+    # ------------------------------------------------------------------
+    # Equality / hashing-lite (used by tests)
+    # ------------------------------------------------------------------
+    def signature(self) -> tuple:
+        """An immutable snapshot usable as a dict key: (states, edges)."""
+        return (tuple(self._states), frozenset(map(frozenset, self.active_edges())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Configuration n={self.n} active_edges={self._n_active} "
+            f"states={self.state_counts()!r}>"
+        )

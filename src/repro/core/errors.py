@@ -1,0 +1,45 @@
+"""Exception hierarchy for the network-constructors library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ProtocolError(ReproError):
+    """A protocol definition violates the model of Section 3.1.
+
+    Examples: a transition table defining both ``(a, b, c)`` and
+    ``(b, a, c)`` with inconsistent outcomes, probabilities that do not sum
+    to one, or an initial state outside the declared state set.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid situation.
+
+    Examples: an interaction requested for a non-existent node, or an
+    execution that exceeded its step budget when the caller required
+    convergence.
+    """
+
+
+class ConvergenceError(SimulationError):
+    """An execution failed to stabilize within the allotted step budget."""
+
+    def __init__(self, message: str, steps: int) -> None:
+        super().__init__(message)
+        self.steps = steps
+
+
+class EncodingError(ReproError):
+    """A graph/tape encoding was malformed (see :mod:`repro.tm.encoding`)."""
+
+
+class MachineError(ReproError):
+    """A Turing machine definition or execution is invalid."""

@@ -1,0 +1,168 @@
+"""Graph predicates for the paper's target constructions — Section 3.2.
+
+All predicates operate on :class:`networkx.Graph` outputs of
+:meth:`repro.core.configuration.Configuration.output_graph`, so they apply
+uniformly to full configurations and to induced subgraphs (useful-space
+checks for constructions with waste).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import networkx as nx
+
+
+def degree_histogram(graph: nx.Graph) -> Counter:
+    """Multiset of node degrees."""
+    return Counter(d for _, d in graph.degree())
+
+
+def is_spanning_line(graph: nx.Graph) -> bool:
+    """Connected, 2 nodes of degree 1 and n-2 of degree 2 (n >= 2).
+
+    A single edge on two nodes is the smallest spanning line.
+    """
+    n = graph.number_of_nodes()
+    if n < 2:
+        return False
+    if graph.number_of_edges() != n - 1:
+        return False
+    hist = degree_histogram(graph)
+    if hist[1] != 2 or hist[2] != n - 2:
+        return False
+    return nx.is_connected(graph)
+
+
+def is_spanning_ring(graph: nx.Graph) -> bool:
+    """Connected and every node has degree 2 (n >= 3)."""
+    n = graph.number_of_nodes()
+    if n < 3:
+        return False
+    if any(d != 2 for _, d in graph.degree()):
+        return False
+    return nx.is_connected(graph)
+
+
+def is_spanning_star(graph: nx.Graph) -> bool:
+    """One center of degree n-1 and n-1 peripherals of degree 1 (n >= 2)."""
+    n = graph.number_of_nodes()
+    if n < 2:
+        return False
+    if graph.number_of_edges() != n - 1:
+        return False
+    hist = degree_histogram(graph)
+    if n == 2:
+        return hist[1] == 2
+    return hist[n - 1] == 1 and hist[1] == n - 1
+
+
+def is_cycle_cover(graph: nx.Graph, waste: int = 0) -> bool:
+    """Node-disjoint cycles spanning all but at most ``waste`` nodes.
+
+    The non-cycle leftover (the waste) must consist of nodes of degree
+    < 2: isolated nodes or a single matched pair, per Theorem 5.
+    """
+    leftover = [u for u, d in graph.degree() if d != 2]
+    if len(leftover) > waste:
+        return False
+    if any(graph.degree(u) > 2 for u in leftover):
+        return False
+    core = graph.subgraph([u for u, d in graph.degree() if d == 2])
+    # Every degree-2 component must be a cycle: |E| == |V| per component.
+    for component in nx.connected_components(core):
+        sub = core.subgraph(component)
+        if sub.number_of_edges() != sub.number_of_nodes():
+            return False
+    return True
+
+
+def is_k_regular_connected(graph: nx.Graph, k: int) -> bool:
+    """Connected and every node has degree exactly ``k``."""
+    n = graph.number_of_nodes()
+    if n < k + 1:
+        return False
+    if any(d != k for _, d in graph.degree()):
+        return False
+    return nx.is_connected(graph)
+
+
+def is_almost_k_regular_connected(graph: nx.Graph, k: int) -> bool:
+    """Theorem 11's guarantee: connected spanning network in which at least
+    ``n - k + 1`` nodes have degree ``k`` and each of the remaining
+    ``l <= k - 1`` nodes has degree in ``[l - 1, k - 1]``."""
+    n = graph.number_of_nodes()
+    if n < k + 1 or not nx.is_connected(graph):
+        return False
+    irregular = [d for _, d in graph.degree() if d != k]
+    l = len(irregular)
+    if l > k - 1:
+        return False
+    return all(l - 1 <= d <= k - 1 for d in irregular)
+
+
+def is_clique_partition(graph: nx.Graph, c: int, waste: int | None = None) -> bool:
+    """``floor(n/c)`` disjoint cliques of order ``c``; remaining
+    ``n mod c`` nodes (default waste) must be isolated."""
+    n = graph.number_of_nodes()
+    if waste is None:
+        waste = n % c
+    cliques = 0
+    stray = 0
+    for component in nx.connected_components(graph):
+        sub = graph.subgraph(component)
+        size = sub.number_of_nodes()
+        if size == 1:
+            stray += 1
+        elif size == c and sub.number_of_edges() == c * (c - 1) // 2:
+            cliques += 1
+        else:
+            return False
+    return cliques == n // c and stray <= waste
+
+
+def is_perfect_matching(graph: nx.Graph) -> bool:
+    """A matching of cardinality floor(n/2): every node has degree 1,
+    except one isolated node when n is odd."""
+    n = graph.number_of_nodes()
+    hist = degree_histogram(graph)
+    if n % 2 == 0:
+        return hist[1] == n
+    return hist[1] == n - 1 and hist[0] == 1
+
+
+def is_spanning_network(graph: nx.Graph) -> bool:
+    """Every node has at least one active edge (Theorem 1's target)."""
+    if graph.number_of_nodes() == 0:
+        return False
+    return all(d >= 1 for _, d in graph.degree())
+
+
+def isomorphic(g1: nx.Graph, g2: nx.Graph) -> bool:
+    """Graph isomorphism via networkx (VF2)."""
+    return nx.is_isomorphic(g1, g2)
+
+
+def line_components(graph: nx.Graph) -> list[list[int]]:
+    """Decompose a graph whose components are paths into ordered node
+    lists (each path listed endpoint-to-endpoint); raises ``ValueError``
+    if some component is not a path.  Isolated nodes yield singletons."""
+    paths: list[list[int]] = []
+    for component in nx.connected_components(graph):
+        sub = graph.subgraph(component)
+        nodes = list(component)
+        if len(nodes) == 1:
+            paths.append(nodes)
+            continue
+        endpoints = [u for u in nodes if sub.degree(u) == 1]
+        if len(endpoints) != 2 or sub.number_of_edges() != len(nodes) - 1:
+            raise ValueError(f"component {sorted(nodes)} is not a path")
+        order = [endpoints[0]]
+        prev = None
+        current = endpoints[0]
+        while len(order) < len(nodes):
+            nxt = [w for w in sub.neighbors(current) if w != prev]
+            prev, current = current, nxt[0]
+            order.append(current)
+        paths.append(order)
+    return paths

@@ -1,0 +1,299 @@
+"""The Network Constructor (NET) protocol abstraction — paper Section 3.1.
+
+A NET is a 4-tuple ``(Q, q0, Qout, delta)`` where ``Q`` is a finite set of
+node-states, ``q0`` the common initial state, ``Qout`` the output states and
+``delta : Q x Q x {0,1} -> Q x Q x {0,1}`` the transition function applied
+to the two interacting nodes and the edge joining them.
+
+Two protocol flavours are supported:
+
+* :class:`TableProtocol` — the paper's presentation style: an explicit
+  dictionary of *effective* rules ``(a, b, c) -> (a', b', c')``; every triple
+  not listed is an ineffective identity transition.
+* subclasses overriding :meth:`Protocol.delta` — used by the generic
+  constructors of Section 6 whose states are structured tuples and whose
+  rules are more conveniently expressed as code.
+
+The model's symmetry conventions are implemented in :func:`resolve`:
+``delta`` is a partial function defined at ``(a, a, c)`` for all ``a`` and at
+*either* ``(a, b, c)`` or ``(b, a, c)`` for distinct ``a, b``.  When only the
+swapped orientation is defined the roles of the two interacting nodes are
+exchanged.  The only randomized symmetry breaking in the deterministic model
+occurs for rules ``(a, a, c) -> (a', b', c')`` with ``a' != b'``: the node
+receiving ``a'`` is drawn equiprobably (paper Section 3.1).
+
+The *probabilistic* extension (class PREL, Definition 4) is supported by
+letting a rule map to a distribution over outcomes, each with rational
+probability; the paper only requires fair coins (probability 1/2) but the
+implementation accepts arbitrary distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.core.errors import ProtocolError
+
+#: A node state.  Any hashable value; plain strings for the paper's explicit
+#: protocols, tuples for the structured states of the generic constructors.
+State = Hashable
+
+#: An edge state: 0 (inactive) or 1 (active) — the "on/off" model.
+EdgeState = int
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The right-hand side of a transition: new states for both nodes and
+    the edge.
+
+    ``a`` is the new state of the node that matched the first position of
+    the rule, ``b`` of the second, and ``edge`` the new edge state.
+    """
+
+    a: State
+    b: State
+    edge: EdgeState
+
+    def __post_init__(self) -> None:
+        if self.edge not in (0, 1):
+            raise ProtocolError(f"edge state must be 0 or 1, got {self.edge!r}")
+
+    def as_triple(self) -> tuple[State, State, EdgeState]:
+        return (self.a, self.b, self.edge)
+
+
+#: A distribution over outcomes: sequence of ``(probability, outcome)``.
+Distribution = tuple[tuple[float, Outcome], ...]
+
+
+def deterministic(a: State, b: State, edge: EdgeState) -> Distribution:
+    """A point distribution on a single outcome."""
+    return ((1.0, Outcome(a, b, edge)),)
+
+
+def coin_flip(
+    heads: tuple[State, State, EdgeState],
+    tails: tuple[State, State, EdgeState],
+) -> Distribution:
+    """A fair-coin rule: probability 1/2 each — the PREL primitive."""
+    return ((0.5, Outcome(*heads)), (0.5, Outcome(*tails)))
+
+
+def _normalize_rhs(rhs: object) -> Distribution:
+    """Accept an ``Outcome``, a bare triple, or a distribution and return a
+    normalized :data:`Distribution`."""
+    if isinstance(rhs, Outcome):
+        return ((1.0, rhs),)
+    if isinstance(rhs, tuple) and len(rhs) == 3 and rhs[2] in (0, 1):
+        # A bare (a', b', c') triple.  Distributions are passed as lists or
+        # via the deterministic()/coin_flip() helpers, whose elements are
+        # (probability, outcome) pairs and therefore never match this shape.
+        return ((1.0, Outcome(*rhs)),)
+    # A distribution: iterable of (prob, outcome-ish).
+    dist = []
+    total = 0.0
+    for prob, outcome in rhs:  # type: ignore[union-attr]
+        if not isinstance(outcome, Outcome):
+            outcome = Outcome(*outcome)
+        if prob <= 0:
+            raise ProtocolError(f"probabilities must be positive, got {prob}")
+        dist.append((float(prob), outcome))
+        total += prob
+    if abs(total - 1.0) > 1e-9:
+        raise ProtocolError(f"outcome probabilities sum to {total}, expected 1")
+    return tuple(dist)
+
+
+class Protocol:
+    """Base class for network constructors.
+
+    Subclasses must provide :attr:`initial_state` and either override
+    :meth:`delta` or populate a rule table via :class:`TableProtocol`.
+
+    Attributes
+    ----------
+    name:
+        Human-readable protocol name (used in reports and benchmarks).
+    initial_state:
+        The common initial node state ``q0``.
+    output_states:
+        The set ``Qout``; ``None`` means *all* states are output states,
+        which is the convention for every protocol in the paper except
+        Graph-Replication.
+    states:
+        The declared finite state set ``Q`` when enumerable; ``None`` for
+        structured-state protocols (the set is still finite for any fixed
+        ``n`` but not conveniently enumerable).
+    """
+
+    name: str = "protocol"
+    initial_state: State = None
+    output_states: frozenset | None = None
+    states: frozenset | None = None
+
+    # ------------------------------------------------------------------
+    # Transition function
+    # ------------------------------------------------------------------
+    def delta(self, a: State, b: State, c: EdgeState) -> Distribution | None:
+        """Return the distribution for ordered triple ``(a, b, c)``.
+
+        Return ``None`` when the partial function is undefined at this
+        orientation (the simulator will then try ``(b, a, c)``).  An
+        undefined triple in *both* orientations is an ineffective identity.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Effectiveness
+    # ------------------------------------------------------------------
+    def is_effective(self, a: State, b: State, c: EdgeState) -> bool:
+        """True if an interaction of a pair in states ``(a, b)`` over an
+        edge in state ``c`` can change anything (paper: an *effective*
+        transition changes at least one of the three components)."""
+        resolved = resolve(self, a, b, c)
+        if resolved is None:
+            return False
+        dist, swapped = resolved
+        if swapped:
+            a, b = b, a
+        return any(out.as_triple() != (a, b, c) for _, out in dist)
+
+    # ------------------------------------------------------------------
+    # Stabilization hooks (used by the simulator and the benchmarks)
+    # ------------------------------------------------------------------
+    def stabilized(self, config) -> bool:  # pragma: no cover - hook
+        """Protocol-specific certificate that the *output graph* can never
+        change again.  Default: no certificate (the simulator then relies
+        on quiescence — an empty effective-pair set)."""
+        return False
+
+    def target_reached(self, config) -> bool:  # pragma: no cover - hook
+        """True when the output graph is a correct target construction.
+        Used by tests; defaults to :meth:`stabilized`."""
+        return self.stabilized(config)
+
+    def initial_configuration(self, n: int):
+        """Build the initial configuration for ``n`` nodes.
+
+        The default puts every node in :attr:`initial_state` with all edges
+        inactive; protocols with non-uniform initial conditions (e.g.
+        Graph-Replication) override this.
+        """
+        from repro.core.configuration import Configuration
+
+        return Configuration.uniform(n, self.initial_state)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class TableProtocol(Protocol):
+    """A protocol given by an explicit table of effective rules.
+
+    Parameters
+    ----------
+    name:
+        Protocol name.
+    initial_state:
+        The initial state ``q0``.
+    rules:
+        Mapping from ordered triples ``(a, b, c)`` to an outcome triple, an
+        :class:`Outcome`, or a distribution ``[(p, outcome), ...]``.
+    states:
+        Optional explicit state set; inferred from the rules and the
+        initial state when omitted.
+    output_states:
+        Optional ``Qout``; ``None`` means all states are output.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        initial_state: State,
+        rules: Mapping[tuple[State, State, EdgeState], object],
+        states: Iterable[State] | None = None,
+        output_states: Iterable[State] | None = None,
+    ) -> None:
+        self.name = name
+        self.initial_state = initial_state
+        self._table: dict[tuple[State, State, EdgeState], Distribution] = {}
+        for (a, b, c), rhs in rules.items():
+            if c not in (0, 1):
+                raise ProtocolError(f"rule key edge state must be 0/1: {(a, b, c)!r}")
+            if a != b and (b, a, c) in rules:
+                raise ProtocolError(
+                    f"rules defined at both orientations of ({a!r}, {b!r}, {c})"
+                )
+            self._table[(a, b, c)] = _normalize_rhs(rhs)
+        inferred: set[State] = {initial_state}
+        for (a, b, _), dist in self._table.items():
+            inferred.update((a, b))
+            for _, out in dist:
+                inferred.update((out.a, out.b))
+        self.states = frozenset(states) if states is not None else frozenset(inferred)
+        if not inferred <= self.states:
+            raise ProtocolError(
+                f"rules mention states outside the declared set: "
+                f"{sorted(map(repr, inferred - self.states))}"
+            )
+        self.output_states = (
+            frozenset(output_states) if output_states is not None else None
+        )
+        # Precomputed set of effective ordered triples, both orientations,
+        # for O(1) effectiveness checks in the event-driven simulator.
+        self._effective: set[tuple[State, State, EdgeState]] = set()
+        for (a, b, c), dist in self._table.items():
+            if any(out.as_triple() != (a, b, c) for _, out in dist):
+                self._effective.add((a, b, c))
+                self._effective.add((b, a, c))
+
+    @property
+    def size(self) -> int:
+        """The protocol size |Q| (the paper's measure of protocol size)."""
+        return len(self.states)  # type: ignore[arg-type]
+
+    def delta(self, a: State, b: State, c: EdgeState) -> Distribution | None:
+        return self._table.get((a, b, c))
+
+    def is_effective(self, a: State, b: State, c: EdgeState) -> bool:
+        return (a, b, c) in self._effective
+
+    def rules(self) -> dict[tuple[State, State, EdgeState], Distribution]:
+        """A copy of the rule table (effective rules only)."""
+        return dict(self._table)
+
+
+def resolve(
+    protocol: Protocol, a: State, b: State, c: EdgeState
+) -> tuple[Distribution, bool] | None:
+    """Resolve the partial transition function at an unordered interaction.
+
+    Returns ``(distribution, swapped)`` where ``swapped`` indicates the rule
+    was found at the ``(b, a, c)`` orientation, so the first component of
+    each outcome applies to the *second* node.  Returns ``None`` when the
+    triple is undefined in both orientations (ineffective identity).
+    """
+    dist = protocol.delta(a, b, c)
+    if dist is not None:
+        return dist, False
+    if a != b:
+        dist = protocol.delta(b, a, c)
+        if dist is not None:
+            return dist, True
+    return None
+
+
+def sample_outcome(dist: Distribution, rng) -> Outcome:
+    """Draw an outcome from a distribution using ``rng.random()``."""
+    if len(dist) == 1:
+        return dist[0][1]
+    roll = rng.random()
+    acc = 0.0
+    for prob, outcome in dist:
+        acc += prob
+        if roll < acc:
+            return outcome
+    return dist[-1][1]

@@ -1,0 +1,111 @@
+"""Fair interaction schedulers — paper Section 3.1.
+
+The adversary selects one unordered pair of distinct nodes per step.  The
+only model requirement is *fairness*: a configuration reachable in one step
+from a configuration occurring infinitely often must itself occur
+infinitely often.  Running times are always measured under the
+:class:`UniformRandomScheduler`, which picks each of the ``n(n-1)/2`` pairs
+independently and uniformly at random (fair with probability 1).
+
+The other schedulers here are fair-by-construction or fair-with-probability-1
+adversaries used by the test suite to exercise correctness claims, which in
+the paper hold under *every* fair schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator
+
+from repro.core.errors import SimulationError
+
+
+class Scheduler:
+    """Base class: a stream of unordered pairs ``(u, v)``, ``u != v``."""
+
+    #: True when the scheduler is the uniform random one (enables the
+    #: event-driven fast path of :class:`repro.core.simulator.AgitatedSimulator`).
+    uniform_random = False
+
+    def pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
+        """Yield an infinite stream of interaction pairs for ``n`` nodes."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(n: int) -> None:
+        if n < 2:
+            raise SimulationError(f"need at least 2 nodes to interact, got {n}")
+
+
+class UniformRandomScheduler(Scheduler):
+    """The paper's timing model: each step selects one of the
+    ``n(n-1)/2`` pairs independently and uniformly at random."""
+
+    uniform_random = True
+
+    def pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
+        self._check(n)
+        randrange = rng.randrange
+        while True:
+            u = randrange(n)
+            v = randrange(n - 1)
+            if v >= u:
+                v += 1
+            yield (u, v)
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deterministic fair scheduler: sweeps a permutation of all pairs,
+    reshuffling between sweeps.  Every pair occurs once per ``n(n-1)/2``
+    steps, so every execution is fair."""
+
+    def pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
+        self._check(n)
+        all_pairs = list(itertools.combinations(range(n), 2))
+        while True:
+            rng.shuffle(all_pairs)
+            yield from all_pairs
+
+
+class AdversarialLaggardScheduler(Scheduler):
+    """A biased-but-fair adversary: interactions involving nodes in the
+    *lagged* set are selected with probability reduced by ``bias``.
+
+    With probability ``bias`` a uniformly chosen pair touching a lagged node
+    is re-drawn (once), so lagged nodes interact far less often.  Every pair
+    still has positive probability in every step, hence the scheduler is
+    fair with probability 1 — a legitimate adversary for correctness tests.
+    """
+
+    def __init__(self, lagged: frozenset[int] | set[int], bias: float = 0.9):
+        if not 0 <= bias < 1:
+            raise SimulationError(f"bias must be in [0, 1), got {bias}")
+        self.lagged = frozenset(lagged)
+        self.bias = bias
+
+    def pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
+        self._check(n)
+        uniform = UniformRandomScheduler().pairs(n, rng)
+        for u, v in uniform:
+            if (u in self.lagged or v in self.lagged) and rng.random() < self.bias:
+                yield next(uniform)
+            else:
+                yield (u, v)
+
+
+class ScriptedScheduler(Scheduler):
+    """Replays a fixed finite script of pairs, then falls back to a uniform
+    random stream (so infinite executions remain fair).  Used by unit tests
+    that need precise control over the interaction order."""
+
+    def __init__(self, script: list[tuple[int, int]]):
+        self.script = list(script)
+
+    def pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
+        self._check(n)
+        for u, v in self.script:
+            if not (0 <= u < n and 0 <= v < n) or u == v:
+                raise SimulationError(f"scripted pair {(u, v)} invalid for n={n}")
+            yield (u, v)
+        yield from UniformRandomScheduler().pairs(n, rng)

@@ -1,0 +1,152 @@
+"""JSON serialization of configurations, traces and run results.
+
+Lets long experiments checkpoint their populations and lets downstream
+tools (plotters, external verifiers) consume executions without importing
+the simulator.  States are arbitrary hashables in memory; on disk they are
+encoded as tagged JSON (strings pass through, tuples become
+``{"t": [...]}`` recursively), so every state used by the built-in
+protocols round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.configuration import Configuration
+from repro.core.errors import ReproError
+from repro.core.simulator import RunResult
+from repro.core.trace import Event, Trace
+
+
+class SerializationError(ReproError):
+    """A value could not be encoded to / decoded from JSON."""
+
+
+def encode_state(state: Any) -> Any:
+    """Encode a node state to a JSON-safe value."""
+    if state is None or isinstance(state, (str, int, float, bool)):
+        return state
+    if isinstance(state, tuple):
+        return {"t": [encode_state(part) for part in state]}
+    raise SerializationError(f"cannot serialize state {state!r}")
+
+
+def decode_state(payload: Any) -> Any:
+    """Inverse of :func:`encode_state`."""
+    if isinstance(payload, dict):
+        if set(payload) != {"t"}:
+            raise SerializationError(f"unknown state payload {payload!r}")
+        return tuple(decode_state(part) for part in payload["t"])
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Configurations
+# ----------------------------------------------------------------------
+
+def configuration_to_dict(config: Configuration) -> dict:
+    return {
+        "version": 1,
+        "states": [encode_state(s) for s in config.states()],
+        "edges": sorted(map(list, config.active_edges())),
+    }
+
+
+def configuration_from_dict(payload: dict) -> Configuration:
+    if payload.get("version") != 1:
+        raise SerializationError(
+            f"unsupported configuration version {payload.get('version')!r}"
+        )
+    states = [decode_state(s) for s in payload["states"]]
+    return Configuration(states, [tuple(e) for e in payload["edges"]])
+
+
+def dump_configuration(config: Configuration, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(configuration_to_dict(config), handle)
+
+
+def load_configuration(path: str) -> Configuration:
+    with open(path) as handle:
+        return configuration_from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Traces and results
+# ----------------------------------------------------------------------
+
+def event_to_dict(event: Event) -> dict:
+    return {
+        "step": event.step,
+        "u": event.u,
+        "v": event.v,
+        "u_before": encode_state(event.u_before),
+        "u_after": encode_state(event.u_after),
+        "v_before": encode_state(event.v_before),
+        "v_after": encode_state(event.v_after),
+        "edge_before": event.edge_before,
+        "edge_after": event.edge_after,
+    }
+
+
+def event_from_dict(payload: dict) -> Event:
+    return Event(
+        step=payload["step"],
+        u=payload["u"],
+        v=payload["v"],
+        u_before=decode_state(payload["u_before"]),
+        u_after=decode_state(payload["u_after"]),
+        v_before=decode_state(payload["v_before"]),
+        v_after=decode_state(payload["v_after"]),
+        edge_before=payload["edge_before"],
+        edge_after=payload["edge_after"],
+    )
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    return {
+        "version": 1,
+        "events": [event_to_dict(e) for e in trace.events],
+        "snapshots": [
+            {"step": step, "configuration": configuration_to_dict(cfg)}
+            for step, cfg in trace.snapshots
+        ],
+    }
+
+
+def trace_from_dict(payload: dict) -> Trace:
+    if payload.get("version") != 1:
+        raise SerializationError(
+            f"unsupported trace version {payload.get('version')!r}"
+        )
+    trace = Trace()
+    trace.events = [event_from_dict(e) for e in payload["events"]]
+    trace.snapshots = [
+        (s["step"], configuration_from_dict(s["configuration"]))
+        for s in payload["snapshots"]
+    ]
+    return trace
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """Summary of a run (the trace, if any, is serialized separately)."""
+    return {
+        "version": 1,
+        "converged": result.converged,
+        "steps": result.steps,
+        "effective_steps": result.effective_steps,
+        "last_change_step": result.last_change_step,
+        "last_output_change_step": result.last_output_change_step,
+        "stop_reason": result.stop_reason,
+        "configuration": configuration_to_dict(result.config),
+    }
+
+
+def parallel_time(steps: int, n: int) -> float:
+    """Convert sequential interaction steps to the paper's parallel-time
+    estimate (footnote 5): Θ(n) interactions happen per parallel round in
+    a well-mixed population, so parallel time ~ steps / n."""
+    if n < 1:
+        raise SerializationError(f"population must be positive, got {n}")
+    return steps / n

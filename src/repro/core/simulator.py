@@ -1,0 +1,435 @@
+"""Simulation engines for network constructors.
+
+Two engines share identical interaction semantics:
+
+* :class:`SequentialSimulator` — the reference implementation: one
+  scheduler pick per step, any :class:`~repro.core.scheduler.Scheduler`.
+* :class:`AgitatedSimulator` — the production engine for the uniform
+  random scheduler.  It maintains the set of *effective* pairs (pairs whose
+  current ``(a, b, c)`` triple has an effective rule) and advances the step
+  counter by a geometrically-distributed number of ineffective steps before
+  each effective interaction.  Because ineffective interactions change
+  nothing, the resulting process is **distributionally identical** to the
+  sequential engine under the uniform random scheduler while doing work
+  proportional only to the number of effective interactions.
+
+Both engines measure the paper's convergence time: the last step at which
+the output graph changed (``RunResult.convergence_time``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.configuration import Configuration
+from repro.core.errors import ConvergenceError, SimulationError
+from repro.core.protocol import Protocol, resolve, sample_outcome
+from repro.core.scheduler import Scheduler, UniformRandomScheduler
+from repro.core.trace import Event, Trace
+
+StopPredicate = Callable[[Configuration], bool]
+
+
+@dataclass(frozen=True)
+class InteractionResult:
+    """What one applied interaction changed."""
+
+    changed: bool
+    u_state_changed: bool
+    v_state_changed: bool
+    edge_changed: bool
+    event: Event | None = None
+
+
+def apply_interaction(
+    protocol: Protocol,
+    config: Configuration,
+    u: int,
+    v: int,
+    rng: random.Random,
+    step: int = 0,
+) -> InteractionResult:
+    """Apply one interaction between nodes ``u`` and ``v`` in place.
+
+    Implements the full Section 3.1 semantics: partial-function
+    orientation resolution, probabilistic outcome sampling (PREL), and the
+    equiprobable symmetry breaking for ``(a, a, c) -> (a', b', c')`` rules
+    with ``a' != b'``.
+    """
+    if u == v:
+        raise SimulationError(f"node {u} cannot interact with itself")
+    a, b = config.state(u), config.state(v)
+    c = config.edge_state(u, v)
+    resolved = resolve(protocol, a, b, c)
+    if resolved is None:
+        return InteractionResult(False, False, False, False)
+    dist, swapped = resolved
+    outcome = sample_outcome(dist, rng)
+    if swapped:
+        new_u, new_v = outcome.b, outcome.a
+    else:
+        new_u, new_v = outcome.a, outcome.b
+    if a == b and new_u != new_v:
+        # The single genuinely symmetric case: both nodes in the same state
+        # receiving distinct new states — the assignment is a fair coin.
+        if rng.random() < 0.5:
+            new_u, new_v = new_v, new_u
+    new_edge = outcome.edge
+    u_changed = new_u != a
+    v_changed = new_v != b
+    edge_changed = new_edge != c
+    if not (u_changed or v_changed or edge_changed):
+        return InteractionResult(False, False, False, False)
+    if u_changed:
+        config.set_state(u, new_u)
+    if v_changed:
+        config.set_state(v, new_v)
+    if edge_changed:
+        config.set_edge(u, v, new_edge)
+    event = Event(step, u, v, a, new_u, b, new_v, c, new_edge)
+    return InteractionResult(True, u_changed, v_changed, edge_changed, event)
+
+
+@dataclass
+class RunResult:
+    """Outcome of a simulation run.
+
+    Attributes
+    ----------
+    converged:
+        True when the run ended because the protocol stabilized (its
+        :meth:`~repro.core.protocol.Protocol.stabilized` certificate held or
+        no effective pair remained), rather than by exhausting the budget.
+    steps:
+        Total scheduler steps elapsed (including ineffective ones).
+    effective_steps:
+        Number of applied interactions that changed something.
+    last_change_step:
+        Step index of the last change of any kind (node state or edge).
+    last_output_change_step:
+        Step index of the last change to the *output graph* — the paper's
+        running time / time to convergence.
+    config:
+        Final configuration.
+    stop_reason:
+        One of ``"stabilized"``, ``"quiescent"``, ``"max_steps"``.
+    trace:
+        The recorded trace if one was requested.
+    """
+
+    converged: bool
+    steps: int
+    effective_steps: int
+    last_change_step: int
+    last_output_change_step: int
+    config: Configuration
+    stop_reason: str
+    trace: Trace | None = None
+
+    @property
+    def convergence_time(self) -> int:
+        """The paper's running time: min t s.t. the output graph is fixed
+        from step t onward.  Meaningful when ``converged`` is True."""
+        return self.last_output_change_step
+
+
+def _output_affected(
+    protocol: Protocol, result: InteractionResult, event: Event
+) -> bool:
+    """Did this interaction possibly change the output graph G(C)?"""
+    out = protocol.output_states
+    if out is None:
+        return result.edge_changed
+    if result.u_state_changed and (
+        (event.u_before in out) != (event.u_after in out)
+    ):
+        return True
+    if result.v_state_changed and (
+        (event.v_before in out) != (event.v_after in out)
+    ):
+        return True
+    if result.edge_changed:
+        # Conservative: an edge touching at least one output node counts
+        # only if both endpoints are output nodes.
+        return event.u_after in out and event.v_after in out
+    return False
+
+
+class SequentialSimulator:
+    """Reference engine: one scheduler pick per step.
+
+    Parameters
+    ----------
+    scheduler:
+        Any fair scheduler; defaults to the uniform random scheduler.
+    seed:
+        Seed for the engine-owned :class:`random.Random`.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.scheduler = scheduler or UniformRandomScheduler()
+        self.seed = seed
+
+    def run(
+        self,
+        protocol: Protocol,
+        n: int,
+        max_steps: int,
+        *,
+        config: Configuration | None = None,
+        stop: StopPredicate | None = None,
+        trace: Trace | None = None,
+        check_interval: int = 1,
+        require_convergence: bool = False,
+        copy_config: bool = True,
+    ) -> RunResult:
+        """Run for at most ``max_steps`` steps.
+
+        Stops early when the protocol's ``stabilized`` certificate (or the
+        ``stop`` override) holds.  ``check_interval`` throttles how often
+        the certificate is evaluated (in effective steps).
+        ``copy_config=False`` evolves the caller's configuration in place
+        (used when running several protocol phases over one population).
+        """
+        rng = random.Random(self.seed)
+        if config is None:
+            cfg = protocol.initial_configuration(n)
+        else:
+            cfg = config.copy() if copy_config else config
+        if cfg.n != n:
+            raise SimulationError(f"configuration has {cfg.n} nodes, expected {n}")
+        stabilized = stop if stop is not None else protocol.stabilized
+        pair_stream = self.scheduler.pairs(n, rng)
+        steps = 0
+        effective = 0
+        last_change = 0
+        last_output_change = 0
+        since_check = 0
+        if stabilized(cfg):
+            return RunResult(True, 0, 0, 0, 0, cfg, "stabilized", trace)
+        for u, v in pair_stream:
+            if steps >= max_steps:
+                break
+            steps += 1
+            result = apply_interaction(protocol, cfg, u, v, rng, steps)
+            if not result.changed:
+                continue
+            effective += 1
+            last_change = steps
+            assert result.event is not None
+            if _output_affected(protocol, result, result.event):
+                last_output_change = steps
+            if trace is not None:
+                trace.record(result.event, cfg)
+            since_check += 1
+            if since_check >= check_interval:
+                since_check = 0
+                if stabilized(cfg):
+                    return RunResult(
+                        True, steps, effective, last_change,
+                        last_output_change, cfg, "stabilized", trace,
+                    )
+        if require_convergence:
+            raise ConvergenceError(
+                f"{protocol.name} did not stabilize within {max_steps} steps "
+                f"(n={n})", steps,
+            )
+        return RunResult(
+            False, steps, effective, last_change, last_output_change, cfg,
+            "max_steps", trace,
+        )
+
+
+class _EffectiveSet:
+    """Indexable set of pairs with O(1) add/remove/uniform-sample."""
+
+    __slots__ = ("_items", "_index")
+
+    def __init__(self) -> None:
+        self._items: list[tuple[int, int]] = []
+        self._index: dict[tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return pair in self._index
+
+    def add(self, pair: tuple[int, int]) -> None:
+        if pair not in self._index:
+            self._index[pair] = len(self._items)
+            self._items.append(pair)
+
+    def discard(self, pair: tuple[int, int]) -> None:
+        idx = self._index.pop(pair, None)
+        if idx is None:
+            return
+        last = self._items.pop()
+        if idx < len(self._items):
+            self._items[idx] = last
+            self._index[last] = idx
+
+    def sample(self, rng: random.Random) -> tuple[int, int]:
+        return self._items[rng.randrange(len(self._items))]
+
+
+class AgitatedSimulator:
+    """Event-driven engine for the uniform random scheduler.
+
+    Maintains the set of effective pairs; each iteration advances the step
+    counter by ``Geometric(p) - 1`` skipped ineffective steps with
+    ``p = |effective| / m`` and then applies a uniformly chosen effective
+    pair — exactly the law of the uniform random scheduler restricted to
+    its effective picks.
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.seed = seed
+
+    def run(
+        self,
+        protocol: Protocol,
+        n: int,
+        max_steps: int | None = None,
+        *,
+        config: Configuration | None = None,
+        stop: StopPredicate | None = None,
+        trace: Trace | None = None,
+        check_interval: int = 1,
+        require_convergence: bool = False,
+        max_effective_steps: int | None = None,
+        copy_config: bool = True,
+    ) -> RunResult:
+        rng = random.Random(self.seed)
+        if config is None:
+            cfg = protocol.initial_configuration(n)
+        else:
+            cfg = config.copy() if copy_config else config
+        if cfg.n != n:
+            raise SimulationError(f"configuration has {cfg.n} nodes, expected {n}")
+        if n < 2:
+            raise SimulationError("need at least 2 nodes")
+        stabilized = stop if stop is not None else protocol.stabilized
+        m = n * (n - 1) // 2
+        is_effective = protocol.is_effective
+        state = cfg.state
+        edge_state = cfg.edge_state
+
+        effective_pairs = _EffectiveSet()
+        for u in range(n):
+            su = state(u)
+            for v in range(u + 1, n):
+                if is_effective(su, state(v), edge_state(u, v)):
+                    effective_pairs.add((u, v))
+
+        def refresh_node(w: int) -> None:
+            sw = state(w)
+            for x in range(n):
+                if x == w:
+                    continue
+                pair = (w, x) if w < x else (x, w)
+                if is_effective(sw, state(x), edge_state(w, x)):
+                    effective_pairs.add(pair)
+                else:
+                    effective_pairs.discard(pair)
+
+        steps = 0
+        effective = 0
+        last_change = 0
+        last_output_change = 0
+        since_check = 0
+        log = math.log
+
+        if stabilized(cfg):
+            return RunResult(True, 0, 0, 0, 0, cfg, "stabilized", trace)
+
+        while True:
+            k = len(effective_pairs)
+            if k == 0:
+                return RunResult(
+                    True, steps, effective, last_change, last_output_change,
+                    cfg, "quiescent", trace,
+                )
+            if max_effective_steps is not None and effective >= max_effective_steps:
+                break
+            if k == m:
+                skip = 0
+            else:
+                # Number of failed (ineffective) picks before a success.
+                p = k / m
+                skip = int(log(1.0 - rng.random()) / log(1.0 - p))
+            if max_steps is not None and steps + skip + 1 > max_steps:
+                steps = max_steps
+                break
+            steps += skip + 1
+            u, v = effective_pairs.sample(rng)
+            result = apply_interaction(protocol, cfg, u, v, rng, steps)
+            if not result.changed:
+                # An effective pair may sample an identity outcome in a
+                # probabilistic rule; the step still elapsed.
+                continue
+            effective += 1
+            last_change = steps
+            assert result.event is not None
+            if _output_affected(protocol, result, result.event):
+                last_output_change = steps
+            if trace is not None:
+                trace.record(result.event, cfg)
+            if result.u_state_changed or result.v_state_changed:
+                if result.u_state_changed:
+                    refresh_node(u)
+                if result.v_state_changed:
+                    refresh_node(v)
+            if result.edge_changed or result.u_state_changed or result.v_state_changed:
+                pair = (u, v) if u < v else (v, u)
+                if is_effective(state(u), state(v), edge_state(u, v)):
+                    effective_pairs.add(pair)
+                else:
+                    effective_pairs.discard(pair)
+            since_check += 1
+            if since_check >= check_interval:
+                since_check = 0
+                if stabilized(cfg):
+                    return RunResult(
+                        True, steps, effective, last_change,
+                        last_output_change, cfg, "stabilized", trace,
+                    )
+        if require_convergence:
+            raise ConvergenceError(
+                f"{protocol.name} did not stabilize within budget (n={n})",
+                steps,
+            )
+        return RunResult(
+            False, steps, effective, last_change, last_output_change, cfg,
+            "max_steps", trace,
+        )
+
+
+def run_to_convergence(
+    protocol: Protocol,
+    n: int,
+    *,
+    seed: int | None = None,
+    max_steps: int | None = None,
+    trace: Trace | None = None,
+    check_interval: int = 1,
+) -> RunResult:
+    """Convenience wrapper: run the event-driven engine until the protocol
+    stabilizes (raises :class:`ConvergenceError` if a finite ``max_steps``
+    budget is exhausted first)."""
+    sim = AgitatedSimulator(seed=seed)
+    return sim.run(
+        protocol,
+        n,
+        max_steps,
+        trace=trace,
+        check_interval=check_interval,
+        require_convergence=max_steps is not None,
+    )

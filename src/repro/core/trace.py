@@ -1,0 +1,94 @@
+"""Execution traces and snapshots.
+
+Traces record the *effective* interactions of an execution (ineffective
+steps change nothing, so the step index of each event suffices to
+reconstruct the full schedule's effect).  Snapshots capture full
+configurations at chosen step milestones and are used by the figure
+benchmarks (e.g. the three stages of Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.configuration import Configuration
+from repro.core.protocol import State
+
+
+@dataclass(frozen=True)
+class Event:
+    """One applied interaction that changed something.
+
+    ``step`` is the 1-based global step index (including skipped
+    ineffective steps); ``u_before/u_after`` etc. describe the change.
+    """
+
+    step: int
+    u: int
+    v: int
+    u_before: State
+    u_after: State
+    v_before: State
+    v_after: State
+    edge_before: int
+    edge_after: int
+
+    @property
+    def edge_changed(self) -> bool:
+        return self.edge_before != self.edge_after
+
+    @property
+    def activated(self) -> bool:
+        return self.edge_before == 0 and self.edge_after == 1
+
+    @property
+    def deactivated(self) -> bool:
+        return self.edge_before == 1 and self.edge_after == 0
+
+
+@dataclass
+class Trace:
+    """Recorded history of an execution.
+
+    Parameters
+    ----------
+    snapshot_predicate:
+        Optional callable ``(step, config) -> bool``; when true after an
+        event, a deep copy of the configuration is stored in
+        :attr:`snapshots`.
+    max_events:
+        Safety cap on stored events (0 = unlimited).
+    """
+
+    snapshot_predicate: Callable[[int, Configuration], bool] | None = None
+    max_events: int = 0
+    events: list[Event] = field(default_factory=list)
+    snapshots: list[tuple[int, Configuration]] = field(default_factory=list)
+
+    def record(self, event: Event, config: Configuration) -> None:
+        if not self.max_events or len(self.events) < self.max_events:
+            self.events.append(event)
+        if self.snapshot_predicate is not None and self.snapshot_predicate(
+            event.step, config
+        ):
+            self.snapshots.append((event.step, config.copy()))
+
+    # ------------------------------------------------------------------
+    # Convenience queries used by tests and benchmarks
+    # ------------------------------------------------------------------
+    def edge_events(self) -> list[Event]:
+        return [e for e in self.events if e.edge_changed]
+
+    def activations(self) -> list[Event]:
+        return [e for e in self.events if e.activated]
+
+    def deactivations(self) -> list[Event]:
+        return [e for e in self.events if e.deactivated]
+
+    def last_edge_change_step(self) -> int:
+        edge_events = self.edge_events()
+        return edge_events[-1].step if edge_events else 0
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,64 @@
+"""Generic (universal) constructors — paper Section 6."""
+
+from repro.generic.linear_waste import (
+    ACTIVATE,
+    COIN,
+    DEACTIVATE,
+    AddressedEdgeOps,
+    UDMPartition,
+    UDPartition,
+)
+from repro.generic.log_waste import LogWasteConstructor, LogWasteReport
+from repro.generic.no_waste import (
+    NoWasteConstructor,
+    NoWasteReport,
+    core_multiplicity,
+    random_bounded_degree_graph,
+)
+from repro.generic.random_graphs import (
+    chi_square_critical,
+    chi_square_uniformity,
+    expected_attempts,
+    gnp,
+    graph_signature,
+    language_probability,
+)
+from repro.generic.supernodes import (
+    Supernode,
+    SupernodeLayout,
+    layout_configuration,
+    organize_supernodes,
+    read_names,
+    realize_supernode_network,
+    triangle_partition,
+)
+from repro.generic.universal import UniversalConstructor, UniversalReport
+
+__all__ = [
+    "ACTIVATE",
+    "AddressedEdgeOps",
+    "COIN",
+    "DEACTIVATE",
+    "LogWasteConstructor",
+    "LogWasteReport",
+    "NoWasteConstructor",
+    "NoWasteReport",
+    "Supernode",
+    "SupernodeLayout",
+    "UDMPartition",
+    "UDPartition",
+    "UniversalConstructor",
+    "UniversalReport",
+    "chi_square_critical",
+    "chi_square_uniformity",
+    "core_multiplicity",
+    "expected_attempts",
+    "gnp",
+    "graph_signature",
+    "language_probability",
+    "layout_configuration",
+    "organize_supernodes",
+    "read_names",
+    "realize_supernode_network",
+    "triangle_partition",
+]

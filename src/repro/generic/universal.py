@@ -1,0 +1,185 @@
+"""The universal construction loop — Figure 3 / Theorem 14.
+
+The pipeline: (i) organize half the population as a simulator over the
+other half, (ii) draw a uniform random graph G ∈ G_{k,1/2} on the useful
+space by per-edge fair coins, (iii) decide G ∈ L; accept → freeze, reject
+→ redraw.  Every graph of L on k nodes is constructed equiprobably.
+
+Fidelity levels (see DESIGN.md, Substitutions):
+
+* The **drawing** phase runs at rule level: every coin toss is a pairwise
+  interaction sequence of :class:`repro.generic.linear_waste.AddressedEdgeOps`
+  (select → mark → toss → ack), i.e. the exact Figure 6 machinery.
+* The **decision** phase runs either directly (`decide_on_line=False`) or,
+  for raw-TM deciders, on a genuine line of agents via
+  :mod:`repro.tm.line_machine` (`decide_on_line=True`) — the Figure 5
+  machinery end to end.
+* The **sequencing** of edge selections (the binary-counter walk the
+  paper's TM performs between operations) is orchestrated by the caller,
+  standing in for the line-TM's program; the counter mechanics themselves
+  are validated by the Figure 5/6 benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import networkx as nx
+
+from repro.core.configuration import Configuration
+from repro.core.errors import ConvergenceError, SimulationError
+from repro.core.simulator import AgitatedSimulator
+from repro.generic.linear_waste import COIN, AddressedEdgeOps
+from repro.generic.random_graphs import gnp
+from repro.tm.deciders import Decider, TMDecider
+from repro.tm.line_machine import run_machine_on_line
+
+
+@dataclass
+class UniversalReport:
+    """Outcome of one universal construction."""
+
+    graph: nx.Graph
+    attempts: int
+    interaction_steps: int
+    coin_tosses: int
+    useful_space: int
+    waste: int
+    decided_on_line: bool = False
+    final_configuration: Configuration | None = None
+    attempt_graphs: list[int] = field(default_factory=list)
+
+
+class UniversalConstructor:
+    """Construct a graph of a decidable language L with linear waste.
+
+    Parameters
+    ----------
+    decider:
+        The language L (any :class:`repro.tm.deciders.Decider`).
+    rule_level:
+        True — draw each edge through the AddressedEdgeOps interaction
+        machinery (slow, faithful).  False — draw with the reference
+        G_{k,1/2} sampler (fast; used for large statistical tests).
+    decide_on_line:
+        For raw-TM deciders, run the accept/reject decision on a line of
+        agents as well.
+    """
+
+    def __init__(
+        self,
+        decider: Decider,
+        *,
+        rule_level: bool = True,
+        decide_on_line: bool = False,
+    ) -> None:
+        if decide_on_line and not isinstance(decider, TMDecider):
+            raise SimulationError(
+                "decide_on_line requires a raw-TM decider"
+            )
+        self.decider = decider
+        self.rule_level = rule_level
+        self.decide_on_line = decide_on_line
+
+    # ------------------------------------------------------------------
+    def construct(
+        self,
+        n: int,
+        *,
+        seed: int | None = None,
+        max_attempts: int = 10_000,
+    ) -> UniversalReport:
+        """Run the Figure-3 loop on a population of ``n`` agents.
+
+        The useful space is k = floor(n/2); the other k agents (plus one
+        odd leftover) are the waste that simulates the TM.
+        """
+        rng = random.Random(seed)
+        k = n // 2
+        if k < 2:
+            raise SimulationError(f"need n >= 4 for a useful space, got {n}")
+        interaction_steps = 0
+        coin_tosses = 0
+        attempt_graphs: list[int] = []
+
+        ops = AddressedEdgeOps(k)
+        config = ops.initial_configuration(2 * k)
+
+        for attempt in range(1, max_attempts + 1):
+            if self.rule_level:
+                graph, steps = self._draw_rule_level(ops, config, rng)
+                interaction_steps += steps
+            else:
+                graph = gnp(k, 0.5, rng)
+            coin_tosses += k * (k - 1) // 2
+            accepted, decision_steps = self._decide(graph, rng)
+            interaction_steps += decision_steps
+            if accepted:
+                if self.rule_level:
+                    self._release(ops, config)
+                return UniversalReport(
+                    graph=graph,
+                    attempts=attempt,
+                    interaction_steps=interaction_steps,
+                    coin_tosses=coin_tosses,
+                    useful_space=k,
+                    waste=n - k,
+                    decided_on_line=self.decide_on_line,
+                    final_configuration=config if self.rule_level else None,
+                    attempt_graphs=attempt_graphs,
+                )
+            attempt_graphs.append(attempt)
+        raise ConvergenceError(
+            f"language {self.decider.name!r} not hit within "
+            f"{max_attempts} draws from G_{{{k},1/2}}",
+            interaction_steps,
+        )
+
+    # ------------------------------------------------------------------
+    def _draw_rule_level(
+        self, ops: AddressedEdgeOps, config: Configuration, rng: random.Random
+    ) -> tuple[nx.Graph, int]:
+        """Toss one rule-level coin per D-edge (Figure 6 sequence)."""
+        steps = 0
+        for i, j in combinations(range(ops.k), 2):
+            ops.select(config, i, j, COIN)
+            sim = AgitatedSimulator(seed=rng.randrange(2**62))
+            result = sim.run(
+                ops,
+                config.n,
+                max_steps=None,
+                config=config,
+                copy_config=False,
+            )
+            ops.clear_acks(config)
+            steps += result.steps
+        return self._extract_graph(ops, config), steps
+
+    @staticmethod
+    def _extract_graph(ops: AddressedEdgeOps, config: Configuration) -> nx.Graph:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(ops.k))
+        for i, j in combinations(range(ops.k), 2):
+            if config.edge_state(ops.d_agent(i), ops.d_agent(j)) == 1:
+                graph.add_edge(i, j)
+        return graph
+
+    @staticmethod
+    def _release(ops: AddressedEdgeOps, config: Configuration) -> None:
+        """Releasing phase: deactivate the vertical matching edges and
+        move the D-nodes to the output state."""
+        for i in range(ops.k):
+            config.set_edge(ops.u_agent(i), ops.d_agent(i), 0)
+            config.set_state(ops.d_agent(i), ("D", "out", None))
+
+    def _decide(self, graph: nx.Graph, rng: random.Random) -> tuple[bool, int]:
+        if not self.decide_on_line:
+            return self.decider.decide(graph), 0
+        assert isinstance(self.decider, TMDecider)
+        tape = self.decider.tape_for(graph)
+        tm_result, run, _ = run_machine_on_line(
+            self.decider.machine, tape, seed=rng.randrange(2**62)
+        )
+        return tm_result.accepted, run.steps

@@ -1,0 +1,58 @@
+"""Fundamental probabilistic processes — paper Section 3.3 (Table 1).
+
+Seven coupon-collector-style processes recurring in running-time analyses
+of network constructors, each packaged as a tiny protocol plus its exact
+analytic expectation (:mod:`repro.processes.analytics`).
+"""
+
+from repro.processes.analytics import (
+    TABLE1_ORDERS,
+    edge_cover_expectation,
+    expectation,
+    harmonic,
+    maximum_matching_expectation,
+    meet_everybody_expectation,
+    node_cover_bounds,
+    one_to_all_elimination_expectation,
+    one_to_one_elimination_expectation,
+    one_way_epidemic_expectation,
+    pairs,
+)
+from repro.processes.cover import EdgeCover, NodeCover
+from repro.processes.elimination import OneToAllElimination, OneToOneElimination
+from repro.processes.epidemic import OneWayEpidemic
+from repro.processes.matching import MaximumMatchingProcess
+from repro.processes.meet import MeetEverybody
+
+#: The seven Table 1 processes, in the paper's order.
+ALL_PROCESSES = (
+    OneWayEpidemic,
+    OneToOneElimination,
+    MaximumMatchingProcess,
+    OneToAllElimination,
+    MeetEverybody,
+    NodeCover,
+    EdgeCover,
+)
+
+__all__ = [
+    "ALL_PROCESSES",
+    "EdgeCover",
+    "MaximumMatchingProcess",
+    "MeetEverybody",
+    "NodeCover",
+    "OneToAllElimination",
+    "OneToOneElimination",
+    "OneWayEpidemic",
+    "TABLE1_ORDERS",
+    "edge_cover_expectation",
+    "expectation",
+    "harmonic",
+    "maximum_matching_expectation",
+    "meet_everybody_expectation",
+    "node_cover_bounds",
+    "one_to_all_elimination_expectation",
+    "one_to_one_elimination_expectation",
+    "one_way_epidemic_expectation",
+    "pairs",
+]

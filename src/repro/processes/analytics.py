@@ -1,0 +1,112 @@
+"""Exact expected convergence times of the Section 3.3 processes.
+
+These are the closed-form sums derived in the paper's Propositions 1-7
+(not asymptotic simplifications), so they can be compared directly with
+measured means in the Table 1 benchmark.  For node cover the paper only
+derives Θ-bounds; :func:`node_cover_bounds` returns the explicit
+(lower, upper) envelope from the proof of Proposition 6.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def harmonic(n: int) -> float:
+    """H_n = sum_{i=1..n} 1/i (H_0 = 0)."""
+    if n <= 0:
+        return 0.0
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+def pairs(n: int) -> int:
+    """m = n(n-1)/2, the number of interaction pairs."""
+    return n * (n - 1) // 2
+
+
+def one_way_epidemic_expectation(n: int) -> float:
+    """Proposition 1: E[X] = sum_{i=1}^{n-1} n(n-1) / (2 i (n-i))
+    = (n-1) H_{n-1}  (exact)."""
+    return sum(n * (n - 1) / (2.0 * i * (n - i)) for i in range(1, n))
+
+
+def one_to_one_elimination_expectation(n: int) -> float:
+    """Proposition 2: E[X] = n(n-1) sum_{i=2}^{n} 1/(i(i-1)) = (n-1)^2
+    (exact; the telescoping sum equals 1 - 1/n)."""
+    return float((n - 1) ** 2)
+
+
+def maximum_matching_expectation(n: int) -> float:
+    """Proposition 3: with 2i nodes already matched the success
+    probability is (n-2i)(n-2i-1)/(n(n-1)); summing the geometric
+    expectations over the floor(n/2) epochs."""
+    total = 0.0
+    remaining = n
+    while remaining >= 2:
+        total += n * (n - 1) / (remaining * (remaining - 1))
+        remaining -= 2
+    return total
+
+
+def one_to_all_elimination_expectation(n: int) -> float:
+    """Proposition 4: E[X] = n(n-1) sum_{i=0}^{n-1}
+    1/(n(n-1) - i(i-1))."""
+    nn = n * (n - 1)
+    return sum(nn / (nn - i * (i - 1)) for i in range(0, n))
+
+
+def meet_everybody_expectation(n: int) -> float:
+    """Proposition 5: collecting n-1 coupons, each present with
+    probability i/m per step: E[X] = m * H_{n-1}  (exact)."""
+    return pairs(n) * harmonic(n - 1)
+
+
+def node_cover_bounds(n: int) -> tuple[float, float]:
+    """Proposition 6: the node cover lies between the artificial
+    two-per-success process and a one-to-all elimination.
+
+    Returns ``(lower, upper)`` with
+    lower = n(n-1) sum_{i=0}^{ceil(n/2)} 1/(n(n-1) - 2i(2i-1)) and
+    upper = the exact one-to-all elimination expectation.
+    """
+    nn = n * (n - 1)
+    lower = sum(
+        nn / (nn - 2 * i * (2 * i - 1))
+        for i in range(0, math.ceil(n / 2) + 1)
+        if nn - 2 * i * (2 * i - 1) > 0
+    )
+    return lower, one_to_all_elimination_expectation(n)
+
+
+def edge_cover_expectation(n: int) -> float:
+    """Proposition 7: the m-coupon collector: E[X] = m * H_m (exact)."""
+    m = pairs(n)
+    return m * harmonic(m)
+
+
+#: Table 1 of the paper: process name -> asymptotic order as a printable
+#: string (used by the Table 1 report).
+TABLE1_ORDERS = {
+    "One-Way-Epidemic": "Θ(n log n)",
+    "One-To-One-Elimination": "Θ(n²)",
+    "Maximum-Matching": "Θ(n²)",
+    "One-To-All-Elimination": "Θ(n log n)",
+    "Meet-Everybody": "Θ(n² log n)",
+    "Node-Cover": "Θ(n log n)",
+    "Edge-Cover": "Θ(n² log n)",
+}
+
+
+def expectation(process_name: str, n: int) -> float | None:
+    """Exact expectation for a named process (None for node cover,
+    which only has an envelope)."""
+    table = {
+        "One-Way-Epidemic": one_way_epidemic_expectation,
+        "One-To-One-Elimination": one_to_one_elimination_expectation,
+        "Maximum-Matching": maximum_matching_expectation,
+        "One-To-All-Elimination": one_to_all_elimination_expectation,
+        "Meet-Everybody": meet_everybody_expectation,
+        "Edge-Cover": edge_cover_expectation,
+    }
+    fn = table.get(process_name)
+    return fn(n) if fn is not None else None

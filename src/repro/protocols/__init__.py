@@ -1,0 +1,49 @@
+"""Direct network constructors — paper Sections 4 and 5 (Table 2).
+
+==========================  ======  =======================================
+Protocol                    states  expected time (paper)
+==========================  ======  =======================================
+:class:`SimpleGlobalLine`   5       Ω(n⁴) and O(n⁵)
+:class:`FastGlobalLine`     9       O(n³)
+:class:`FasterGlobalLine`   6       open (experimental, Section 7)
+:class:`LeaderDrivenLine`   —       Θ(n² log n), pre-elected leader
+:class:`CycleCover`         3       Θ(n²) — optimal
+:class:`GlobalStar`         2       Θ(n² log n) — optimal (size and time)
+:class:`GlobalRing`         10      —
+:class:`TwoRegularConnected` 6      —
+:class:`KRegularConnected`  2(k+1)  —
+:class:`CCliques`           5c−3    —
+:class:`GraphReplication`   12      Θ(n⁴ log n)
+:class:`SpanningNetwork`    2       Θ(n log n) — optimal
+==========================  ======  =======================================
+"""
+
+from repro.protocols.cliques import CCliques
+from repro.protocols.cycle_cover import CycleCover
+from repro.protocols.line import (
+    FastGlobalLine,
+    FasterGlobalLine,
+    LeaderDrivenLine,
+    SimpleGlobalLine,
+)
+from repro.protocols.regular import KRegularConnected, NeighborDoubling
+from repro.protocols.replication import GraphReplication
+from repro.protocols.ring import GlobalRing, TwoRegularConnected
+from repro.protocols.spanning import SpanningNetwork
+from repro.protocols.star import GlobalStar
+
+__all__ = [
+    "CCliques",
+    "CycleCover",
+    "FastGlobalLine",
+    "FasterGlobalLine",
+    "GlobalRing",
+    "GlobalStar",
+    "GraphReplication",
+    "KRegularConnected",
+    "LeaderDrivenLine",
+    "NeighborDoubling",
+    "SimpleGlobalLine",
+    "SpanningNetwork",
+    "TwoRegularConnected",
+]

@@ -1,0 +1,163 @@
+"""k-regular connected networks — paper Protocol 7 (kRC) and the
+2^d-neighbor doubling construction of Section 5.
+
+:class:`KRegularConnected` generalizes 2RC to any constant degree k >= 2
+with 2(k+1) states.  Theorem 11: for n >= k+1 it constructs a connected
+spanning network in which at least n-k+1 nodes have degree exactly k and
+each of the remaining l <= k-1 nodes has degree between l-1 and k-1.
+
+:class:`NeighborDoubling` shows the target degree is *not* a lower bound on
+protocol size: Θ(d) states suffice for a node to acquire 2^d neighbors, by
+repeatedly doubling its neighborhood.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import Configuration
+from repro.core.errors import ProtocolError
+from repro.core.graphs import is_almost_k_regular_connected
+from repro.core.protocol import TableProtocol
+
+
+class KRegularConnected(TableProtocol):
+    """Protocol 7 — *kRC* with parametric degree ``k >= 2``.
+
+    States ``q0 .. qk`` (non-leaders; the index tracks the node's active
+    degree) and ``l1 .. l(k+1)`` (leaders; ``l(k+1)`` marks a leader that
+    exceeded degree k and must shed an edge).  Instantiating ``k=2``
+    reproduces 2RC rule-for-rule.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 2:
+            raise ProtocolError(f"kRC requires k >= 2, got {k}")
+        self.k = k
+
+        def q(i: int) -> str:
+            return f"q{i}"
+
+        def l(i: int) -> str:  # noqa: E743 - matches the paper's notation
+            return f"l{i}"
+
+        def demoted(i: int) -> str:
+            """l_i with the paper's convention l_0 == q0."""
+            return q(0) if i == 0 else l(i)
+
+        rules: dict = {(q(0), q(0), 0): (q(1), l(1), 1)}
+        # Non-leader degree growth: (qi, qj, 0) -> (qi+1, qj+1, 1).
+        for i in range(1, k):
+            rules[(q(i), q(0), 0)] = (q(i + 1), q(1), 1)
+            for j in range(i, k):
+                rules[(q(i), q(j), 0)] = (q(i + 1), q(j + 1), 1)
+        # Leader-leader connections (the first keeps the leadership).
+        for i in range(1, k):
+            for j in range(i, k):
+                rules[(l(i), l(j), 0)] = (l(i + 1), q(j + 1), 1)
+        # Leader-nonleader connections (the leadership moves across).
+        for i in range(1, k):
+            for j in range(0, k):
+                rules[(l(i), q(j), 0)] = (q(i + 1), l(j + 1), 1)
+        # Swapping: leaders keep moving inside components.
+        for i in range(1, k + 1):
+            for j in range(1, k + 1):
+                rules[(l(i), q(j), 1)] = (q(i), l(j), 1)
+        # Leader elimination: one survives per component.
+        for i in range(1, k + 1):
+            for j in range(i, k + 1):
+                rules[(l(i), l(j), 1)] = (q(i), l(j), 1)
+        # Opening k-regular components in the presence of other components.
+        rules[(l(k), q(0), 0)] = (l(k + 1), q(1), 1)
+        for i in range(1, k):
+            rules[(l(k), l(i), 0)] = (l(k + 1), q(i + 1), 1)
+        rules[(l(k), l(k), 0)] = (l(k + 1), l(k + 1), 1)
+        rules[(l(k + 1), q(1), 1)] = (l(k), q(0), 0)
+        for i in range(2, k + 1):
+            rules[(l(k + 1), q(i), 1)] = (l(k), l(i - 1), 0)
+        for i in range(1, k + 1):
+            rules[(l(k + 1), l(i), 1)] = (l(k), demoted(i - 1), 0)
+        rules[(l(k + 1), l(k + 1), 1)] = (l(k), l(k), 0)
+
+        super().__init__(
+            name=f"{k}RC",
+            initial_state=q(0),
+            rules=rules,
+        )
+
+    def _deficient(self, config: Configuration) -> list[int]:
+        """Nodes whose recorded degree (state index) is below k."""
+        k = self.k
+        low: list[int] = []
+        for u in range(config.n):
+            s = config.state(u)
+            idx = int(s[1:])
+            if (s[0] == "q" and idx < k) or (s[0] == "l" and idx < k):
+                low.append(u)
+        return low
+
+    def stabilized(self, config: Configuration) -> bool:
+        """Stable iff: no free node, a single leader, no over-full
+        l(k+1), and all degree-deficient nodes are pairwise adjacent
+        (so no connect rule can fire).  The walking leader keeps the
+        configuration non-quiescent, but the edge set is fixed."""
+        counts = config.state_counts()
+        if counts.get("q0", 0) or counts.get(f"l{self.k + 1}", 0):
+            return False
+        leaders = sum(c for s, c in counts.items() if s.startswith("l"))
+        if leaders != 1:
+            return False
+        deficient = self._deficient(config)
+        for i, u in enumerate(deficient):
+            for v in deficient[i + 1:]:
+                if config.edge_state(u, v) == 0:
+                    return False
+        return True
+
+    def target_reached(self, config: Configuration) -> bool:
+        return is_almost_k_regular_connected(config.output_graph(), self.k)
+
+
+class NeighborDoubling(TableProtocol):
+    """Section 5's doubling trick: a designated node obtains exactly
+    ``2**d`` neighbors using Θ(d) states.
+
+    Node 0 starts in ``q0``; everyone else in ``a0``.  The center first
+    collects two level-1 neighbors, then repeatedly: upgrading one level-i
+    neighbor to level i+1 triggers the recruitment of one fresh level-(i+1)
+    neighbor, so each level doubles the neighborhood until level d.
+    """
+
+    def __init__(self, d: int) -> None:
+        if d < 1:
+            raise ProtocolError(f"doubling exponent must be >= 1, got {d}")
+        self.d = d
+        rules: dict = {
+            ("q0", "a0", 0): ("q0p", "a1", 1),
+            ("q0p", "a0", 0): ("q", "a1", 1),
+        }
+        for i in range(1, d):
+            rules[("q", f"a{i}", 1)] = (f"c{i + 1}", f"a{i + 1}", 1)
+        for j in range(2, d + 1):
+            rules[(f"c{j}", "a0", 0)] = ("q", f"a{j}", 1)
+        super().__init__(
+            name=f"Neighbor-Doubling-2^{d}",
+            initial_state="a0",
+            rules=rules,
+        )
+
+    def initial_configuration(self, n: int) -> Configuration:
+        if n < 2 ** self.d + 1:
+            raise ProtocolError(
+                f"doubling to 2^{self.d} neighbors needs n >= {2 ** self.d + 1}, "
+                f"got {n}"
+            )
+        config = Configuration.uniform(n, "a0")
+        config.set_state(0, "q0")
+        return config
+
+    def target_reached(self, config: Configuration) -> bool:
+        target = 2 ** self.d
+        if config.degree(0) != target:
+            return False
+        return all(
+            config.state(v) == f"a{self.d}" for v in config.neighbors(0)
+        )

@@ -1,0 +1,159 @@
+"""Deterministic single-tape Turing machines.
+
+The generic constructors of Section 6 simulate a space-bounded TM on a
+self-assembled line of agents; this module provides the machine model
+itself.  Machines are deliberately explicit (state/symbol transition
+tables) so they can be executed both directly (:meth:`TuringMachine.run`)
+and cell-by-cell on a line of agents
+(:class:`repro.tm.line_machine.LineMachineProtocol`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.errors import MachineError
+
+#: Head movement directions.
+LEFT = "L"
+RIGHT = "R"
+STAY = "S"
+
+#: The blank tape symbol.
+BLANK = "_"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One transition: write ``write``, move ``move``, go to ``state``."""
+
+    state: str
+    write: str
+    move: str
+
+    def __post_init__(self) -> None:
+        if self.move not in (LEFT, RIGHT, STAY):
+            raise MachineError(f"invalid move {self.move!r}")
+
+
+@dataclass
+class TMResult:
+    """Outcome of a machine run."""
+
+    accepted: bool
+    halted: bool
+    steps: int
+    cells_used: int
+    tape: list[str]
+    state: str
+
+
+class TuringMachine:
+    """A deterministic single-tape TM with a bounded tape.
+
+    Parameters
+    ----------
+    name:
+        Machine name (reports/debugging).
+    transitions:
+        Mapping ``(state, symbol) -> Step``.  Missing entries in a
+        non-halting state cause a :class:`MachineError` when reached.
+    start, accept, reject:
+        Control states; ``accept``/``reject`` halt the machine.
+    blank:
+        Blank symbol (defaults to ``_``).
+
+    The tape is *bounded*: machines run on exactly the cells they are
+    given (the agents of the line), mirroring the space-bounded setting of
+    Section 6.  Moving off either end raises :class:`MachineError` — the
+    machines in :mod:`repro.tm.deciders` are written never to do so.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transitions: Mapping[tuple[str, str], Step | tuple[str, str, str]],
+        start: str,
+        accept: str = "accept",
+        reject: str = "reject",
+        blank: str = BLANK,
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.accept = accept
+        self.reject = reject
+        self.blank = blank
+        self.transitions: dict[tuple[str, str], Step] = {}
+        for key, value in transitions.items():
+            step = value if isinstance(value, Step) else Step(*value)
+            self.transitions[key] = step
+        self.states = {start, accept, reject}
+        self.alphabet = {blank}
+        for (state, symbol), step in self.transitions.items():
+            self.states.update((state, step.state))
+            self.alphabet.update((symbol, step.write))
+
+    # ------------------------------------------------------------------
+    def is_halting(self, state: str) -> bool:
+        return state in (self.accept, self.reject)
+
+    def step(
+        self, state: str, tape: list[str], head: int
+    ) -> tuple[str, int]:
+        """Apply one transition in place; returns (new_state, new_head)."""
+        key = (state, tape[head])
+        step = self.transitions.get(key)
+        if step is None:
+            raise MachineError(
+                f"{self.name}: no transition from state {state!r} "
+                f"reading {tape[head]!r}"
+            )
+        tape[head] = step.write
+        if step.move == LEFT:
+            head -= 1
+        elif step.move == RIGHT:
+            head += 1
+        if not 0 <= head < len(tape):
+            raise MachineError(
+                f"{self.name}: head moved off the bounded tape "
+                f"(position {head}, length {len(tape)})"
+            )
+        return step.state, head
+
+    def run(
+        self,
+        tape: Iterable[str],
+        max_steps: int = 10_000_000,
+        head: int = 0,
+    ) -> TMResult:
+        """Run to halt (or ``max_steps``)."""
+        cells = list(tape)
+        if not cells:
+            cells = [self.blank]
+        state = self.start
+        visited_max = head
+        steps = 0
+        while not self.is_halting(state):
+            if steps >= max_steps:
+                return TMResult(False, False, steps, visited_max + 1, cells, state)
+            state, head = self.step(state, cells, head)
+            visited_max = max(visited_max, head)
+            steps += 1
+        return TMResult(
+            state == self.accept, True, steps, visited_max + 1, cells, state
+        )
+
+    def accepts(self, tape: Iterable[str], max_steps: int = 10_000_000) -> bool:
+        result = self.run(tape, max_steps=max_steps)
+        if not result.halted:
+            raise MachineError(
+                f"{self.name} did not halt within {max_steps} steps"
+            )
+        return result.accepted
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TuringMachine {self.name!r} states={len(self.states)} "
+            f"rules={len(self.transitions)}>"
+        )

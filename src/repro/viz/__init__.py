@@ -1,0 +1,20 @@
+"""Visualization helpers: ASCII renderings and DOT export."""
+
+from repro.viz.ascii_art import (
+    adjacency_art,
+    component_summary,
+    render_line,
+    render_star,
+    state_summary,
+)
+from repro.viz.dot import configuration_to_dot, trace_to_dot_frames
+
+__all__ = [
+    "adjacency_art",
+    "component_summary",
+    "configuration_to_dot",
+    "render_line",
+    "render_star",
+    "state_summary",
+    "trace_to_dot_frames",
+]

@@ -1,0 +1,38 @@
+"""Graphviz DOT export of configurations and traces."""
+
+from __future__ import annotations
+
+from repro.core.configuration import Configuration
+from repro.core.trace import Trace
+
+
+def configuration_to_dot(
+    config: Configuration,
+    name: str = "net",
+    highlight_states: frozenset | set | None = None,
+) -> str:
+    """DOT source for the active graph; nodes labeled with their states,
+    nodes in ``highlight_states`` drawn filled."""
+    highlight = highlight_states or set()
+    lines = [f"graph {name} {{", "  node [shape=circle];"]
+    for u in range(config.n):
+        state = config.state(u)
+        attrs = [f'label="{u}:{state}"']
+        if state in highlight:
+            attrs.append('style=filled fillcolor=lightblue')
+        lines.append(f"  {u} [{' '.join(attrs)}];")
+    for u, v in sorted(config.active_edges()):
+        lines.append(f"  {u} -- {v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def trace_to_dot_frames(
+    trace: Trace,
+    name: str = "net",
+) -> list[str]:
+    """One DOT document per recorded snapshot."""
+    return [
+        configuration_to_dot(config, name=f"{name}_{step}")
+        for step, config in trace.snapshots
+    ]

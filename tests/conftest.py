@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import (
+    AdversarialLaggardScheduler,
+    RoundRobinScheduler,
+    UniformRandomScheduler,
+)
+from repro.core.simulator import AgitatedSimulator, SequentialSimulator
+
+
+def converge(protocol, n, seed=0, max_steps=None, check_interval=1):
+    """Run the event-driven engine to stabilization and return the result."""
+    sim = AgitatedSimulator(seed=seed)
+    return sim.run(
+        protocol,
+        n,
+        max_steps,
+        check_interval=check_interval,
+        require_convergence=max_steps is not None,
+    )
+
+
+def converge_sequential(protocol, n, scheduler, seed=0, max_steps=2_000_000):
+    """Run the reference engine under an arbitrary fair scheduler."""
+    sim = SequentialSimulator(scheduler=scheduler, seed=seed)
+    return sim.run(protocol, n, max_steps)
+
+
+def fair_schedulers(n):
+    """A representative spread of fair schedulers for correctness tests."""
+    return [
+        UniformRandomScheduler(),
+        RoundRobinScheduler(),
+        AdversarialLaggardScheduler(lagged={0, n - 1}, bias=0.85),
+    ]
+
+
+@pytest.fixture
+def seeds():
+    """Default seed batch for multi-run correctness tests."""
+    return range(8)

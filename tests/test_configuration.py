@@ -1,0 +1,120 @@
+"""Tests for configurations and output-graph extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.errors import SimulationError
+
+
+class TestConstruction:
+    def test_uniform(self):
+        config = Configuration.uniform(5, "q0")
+        assert config.n == 5
+        assert config.states() == ["q0"] * 5
+        assert config.n_active_edges == 0
+
+    def test_uniform_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            Configuration.uniform(0, "q0")
+
+    def test_initial_edges(self):
+        config = Configuration(["a", "b", "c"], [(0, 1), (1, 2)])
+        assert config.edge_state(0, 1) == 1
+        assert config.edge_state(0, 2) == 0
+        assert config.n_active_edges == 2
+
+
+class TestStates:
+    def test_set_and_read(self):
+        config = Configuration.uniform(3, "a")
+        config.set_state(1, "b")
+        assert config.state(1) == "b"
+        assert config.state_counts() == {"a": 2, "b": 1}
+
+    def test_nodes_in_state(self):
+        config = Configuration(["a", "b", "a"])
+        assert config.nodes_in_state("a") == [0, 2]
+
+    def test_nodes_where(self):
+        config = Configuration([("x", 1), ("y", 2), ("x", 3)])
+        assert config.nodes_where(lambda s: s[0] == "x") == [0, 2]
+
+
+class TestEdges:
+    def test_activation_and_deactivation(self):
+        config = Configuration.uniform(4, "a")
+        config.set_edge(0, 1, 1)
+        assert config.edge_state(1, 0) == 1  # symmetric
+        config.set_edge(1, 0, 0)
+        assert config.edge_state(0, 1) == 0
+        assert config.n_active_edges == 0
+
+    def test_idempotent_updates(self):
+        config = Configuration.uniform(3, "a")
+        config.set_edge(0, 1, 1)
+        config.set_edge(0, 1, 1)
+        assert config.n_active_edges == 1
+        config.set_edge(0, 2, 0)
+        assert config.n_active_edges == 1
+
+    def test_self_loop_rejected(self):
+        config = Configuration.uniform(3, "a")
+        with pytest.raises(SimulationError):
+            config.set_edge(1, 1, 1)
+
+    def test_invalid_edge_state_rejected(self):
+        config = Configuration.uniform(3, "a")
+        with pytest.raises(SimulationError):
+            config.set_edge(0, 1, 2)
+
+    def test_degree_and_neighbors(self):
+        config = Configuration.uniform(4, "a")
+        config.set_edge(0, 1, 1)
+        config.set_edge(0, 2, 1)
+        assert config.degree(0) == 2
+        assert config.neighbors(0) == frozenset({1, 2})
+
+    def test_active_edges_iteration(self):
+        config = Configuration.uniform(4, "a")
+        config.set_edge(2, 0, 1)
+        config.set_edge(3, 1, 1)
+        assert sorted(config.active_edges()) == [(0, 2), (1, 3)]
+
+
+class TestOutputGraph:
+    def test_all_states_output(self):
+        config = Configuration(["a", "b", "c"], [(0, 1)])
+        graph = config.output_graph()
+        assert graph.number_of_nodes() == 3
+        assert graph.has_edge(0, 1)
+
+    def test_restricted_output_states(self):
+        config = Configuration(["a", "b", "b", "a"], [(0, 1), (1, 2)])
+        graph = config.output_graph(frozenset({"b"}))
+        assert sorted(graph.nodes()) == [1, 2]
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(0, 1)
+
+    def test_active_subgraph(self):
+        config = Configuration(["a"] * 4, [(0, 1), (2, 3), (1, 2)])
+        sub = config.active_subgraph([0, 1, 2])
+        assert sorted(sub.edges()) == [(0, 1), (1, 2)]
+
+
+class TestCopySemantics:
+    def test_copy_is_independent(self):
+        config = Configuration(["a", "b"], [(0, 1)])
+        clone = config.copy()
+        clone.set_state(0, "z")
+        clone.set_edge(0, 1, 0)
+        assert config.state(0) == "a"
+        assert config.edge_state(0, 1) == 1
+
+    def test_signature_equality(self):
+        c1 = Configuration(["a", "b"], [(0, 1)])
+        c2 = Configuration(["a", "b"], [(1, 0)])
+        assert c1 == c2
+        c2.set_state(0, "b")
+        assert c1 != c2

@@ -1,0 +1,81 @@
+"""Tests for the Theorem 14/15 partition protocols (Figures 4, 7, 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generic import UDMPartition, UDPartition
+from tests.conftest import converge, converge_sequential, fair_schedulers
+
+
+class TestUDPartition:
+    def test_even_population_perfectly_matched(self, seeds):
+        protocol = UDPartition()
+        for seed in seeds:
+            result = converge(protocol, 12, seed=seed)
+            assert result.converged
+            assert protocol.target_reached(result.config)
+
+    def test_odd_population_leaves_one_q0(self):
+        protocol = UDPartition()
+        result = converge(protocol, 11, seed=4)
+        counts = result.config.state_counts()
+        assert counts == {"qu": 5, "qd": 5, "q0": 1}
+
+    def test_roles_are_matched_pairwise(self):
+        protocol = UDPartition()
+        result = converge(protocol, 10, seed=7)
+        config = result.config
+        for u in config.nodes_in_state("qu"):
+            (v,) = config.neighbors(u)
+            assert config.state(v) == "qd"
+            assert config.neighbors(v) == frozenset({u})
+
+    def test_under_fair_schedulers(self):
+        n = 8
+        protocol = UDPartition()
+        for scheduler in fair_schedulers(n):
+            result = converge_sequential(protocol, n, scheduler, seed=2)
+            assert result.converged
+            assert protocol.target_reached(result.config)
+
+
+class TestUDMPartition:
+    def test_divisible_population_forms_triples(self, seeds):
+        protocol = UDMPartition()
+        for seed in seeds:
+            result = converge(protocol, 12, seed=seed)
+            assert result.converged
+            assert protocol.target_reached(result.config), seed
+
+    @pytest.mark.parametrize("n", [9, 12, 15, 21])
+    def test_triple_shape(self, n):
+        protocol = UDMPartition()
+        result = converge(protocol, n, seed=n)
+        triples = protocol.triples(result.config)
+        assert len(triples) >= n // 3 - 1
+        config = result.config
+        for d, u, m in triples:
+            assert config.state(d) == "qd"
+            assert config.state(u) == "qu"
+            assert config.state(m) == "qm"
+            # the chain is d - u - m with no other attachments
+            assert config.neighbors(u) == frozenset({d, m})
+            assert config.neighbors(d) == frozenset({u})
+            assert config.neighbors(m) == frozenset({u})
+
+    def test_non_divisible_leaves_small_waste(self):
+        protocol = UDMPartition()
+        for n in (10, 11):
+            result = converge(protocol, n, seed=n)
+            triples = protocol.triples(result.config)
+            used = 3 * len(triples)
+            assert n - used <= 4  # bounded leftover
+
+    def test_under_fair_schedulers(self):
+        n = 9
+        protocol = UDMPartition()
+        for scheduler in fair_schedulers(n):
+            result = converge_sequential(protocol, n, scheduler, seed=3)
+            assert result.converged
+            assert protocol.target_reached(result.config)

@@ -1,0 +1,173 @@
+"""Tests for the Section 3.2 target-network predicates."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.graphs import (
+    degree_histogram,
+    is_almost_k_regular_connected,
+    is_clique_partition,
+    is_cycle_cover,
+    is_k_regular_connected,
+    is_perfect_matching,
+    is_spanning_line,
+    is_spanning_network,
+    is_spanning_ring,
+    is_spanning_star,
+    isomorphic,
+    line_components,
+)
+
+
+class TestSpanningLine:
+    def test_path_graphs(self):
+        for n in (2, 3, 10):
+            assert is_spanning_line(nx.path_graph(n))
+
+    def test_rejects_cycle_star_and_disconnected(self):
+        assert not is_spanning_line(nx.cycle_graph(5))
+        assert not is_spanning_line(nx.star_graph(4))
+        g = nx.Graph()
+        nx.add_path(g, [0, 1, 2])
+        nx.add_path(g, [3, 4, 5])
+        assert not is_spanning_line(g)
+
+    def test_rejects_single_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        assert not is_spanning_line(g)
+
+    def test_rejects_line_plus_chord(self):
+        g = nx.path_graph(5)
+        g.add_edge(0, 2)
+        assert not is_spanning_line(g)
+
+
+class TestSpanningRing:
+    def test_cycles(self):
+        for n in (3, 4, 9):
+            assert is_spanning_ring(nx.cycle_graph(n))
+
+    def test_rejects_path_and_disjoint_cycles(self):
+        assert not is_spanning_ring(nx.path_graph(5))
+        g = nx.Graph()
+        nx.add_cycle(g, [0, 1, 2])
+        nx.add_cycle(g, [3, 4, 5])
+        assert not is_spanning_ring(g)
+
+
+class TestSpanningStar:
+    def test_stars(self):
+        assert is_spanning_star(nx.star_graph(5))  # 6 nodes
+        assert is_spanning_star(nx.path_graph(2))  # degenerate 2-node star
+
+    def test_rejects_extra_edge(self):
+        g = nx.star_graph(4)
+        g.add_edge(1, 2)
+        assert not is_spanning_star(g)
+
+    def test_rejects_two_centers(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 2), (0, 3), (1, 4), (1, 5), (0, 1)])
+        assert not is_spanning_star(g)
+
+
+class TestCycleCover:
+    def test_disjoint_cycles(self):
+        g = nx.Graph()
+        nx.add_cycle(g, [0, 1, 2])
+        nx.add_cycle(g, [3, 4, 5, 6])
+        assert is_cycle_cover(g)
+
+    def test_waste_allows_leftovers(self):
+        g = nx.Graph()
+        nx.add_cycle(g, [0, 1, 2])
+        g.add_node(3)
+        g.add_edge(4, 5)  # matched pair
+        assert not is_cycle_cover(g, waste=2)  # 3 leftover nodes
+        g2 = nx.Graph()
+        nx.add_cycle(g2, [0, 1, 2])
+        g2.add_edge(3, 4)
+        assert is_cycle_cover(g2, waste=2)
+
+    def test_rejects_path_component(self):
+        g = nx.path_graph(4)
+        assert not is_cycle_cover(g, waste=2)
+
+
+class TestRegular:
+    def test_k_regular(self):
+        assert is_k_regular_connected(nx.cycle_graph(6), 2)
+        assert is_k_regular_connected(nx.complete_graph(4), 3)
+        assert not is_k_regular_connected(nx.path_graph(4), 2)
+
+    def test_disconnected_regular_rejected(self):
+        g = nx.Graph()
+        nx.add_cycle(g, [0, 1, 2])
+        nx.add_cycle(g, [3, 4, 5])
+        assert not is_k_regular_connected(g, 2)
+
+    def test_almost_k_regular(self):
+        # K4 minus one edge: two nodes of degree 2, two of degree 3.
+        g = nx.complete_graph(4)
+        g.remove_edge(0, 1)
+        assert is_almost_k_regular_connected(g, 3)
+        assert not is_almost_k_regular_connected(nx.path_graph(6), 3)
+
+
+class TestCliquePartition:
+    def test_exact_partition(self):
+        g = nx.disjoint_union(nx.complete_graph(3), nx.complete_graph(3))
+        assert is_clique_partition(g, 3)
+
+    def test_leftover_isolated(self):
+        g = nx.disjoint_union(nx.complete_graph(3), nx.complete_graph(3))
+        g.add_node(99)
+        assert is_clique_partition(g, 3)
+
+    def test_wrong_component_rejected(self):
+        g = nx.disjoint_union(nx.complete_graph(3), nx.path_graph(3))
+        assert not is_clique_partition(g, 3)
+
+
+class TestMatchingAndSpanning:
+    def test_perfect_matching(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        assert is_perfect_matching(g)
+        g.add_node(4)
+        assert is_perfect_matching(g)  # odd n: one isolated allowed
+        g.add_node(5)
+        assert not is_perfect_matching(g)
+
+    def test_spanning_network(self):
+        assert is_spanning_network(nx.cycle_graph(4))
+        g = nx.path_graph(3)
+        g.add_node(9)
+        assert not is_spanning_network(g)
+        assert not is_spanning_network(nx.Graph())
+
+
+class TestHelpers:
+    def test_degree_histogram(self):
+        hist = degree_histogram(nx.star_graph(3))
+        assert hist[3] == 1 and hist[1] == 3
+
+    def test_isomorphic(self):
+        assert isomorphic(nx.path_graph(4), nx.path_graph(4))
+        assert not isomorphic(nx.path_graph(4), nx.star_graph(3))
+
+    def test_line_components_orders_paths(self):
+        g = nx.Graph()
+        nx.add_path(g, [5, 2, 7, 1])
+        g.add_node(9)
+        paths = line_components(g)
+        assert sorted(len(p) for p in paths) == [1, 4]
+        long = max(paths, key=len)
+        assert long in ([5, 2, 7, 1], [1, 7, 2, 5])
+
+    def test_line_components_rejects_cycle(self):
+        g = nx.cycle_graph(4)
+        with pytest.raises(ValueError):
+            line_components(g)

@@ -1,0 +1,163 @@
+"""Tests for the NET protocol abstraction (paper Section 3.1 semantics)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.protocol import (
+    Outcome,
+    TableProtocol,
+    coin_flip,
+    deterministic,
+    resolve,
+    sample_outcome,
+)
+
+
+def make_simple():
+    return TableProtocol(
+        name="toy",
+        initial_state="a",
+        rules={("a", "b", 0): ("b", "b", 1)},
+    )
+
+
+class TestOutcome:
+    def test_invalid_edge_state_rejected(self):
+        with pytest.raises(ProtocolError):
+            Outcome("a", "b", 2)
+
+    def test_as_triple(self):
+        assert Outcome("a", "b", 1).as_triple() == ("a", "b", 1)
+
+
+class TestTableProtocolConstruction:
+    def test_size_counts_states(self):
+        protocol = make_simple()
+        assert protocol.size == 2
+        assert protocol.states == frozenset({"a", "b"})
+
+    def test_states_inferred_from_outcomes(self):
+        protocol = TableProtocol(
+            "t", "x", {("x", "x", 0): ("y", "z", 1)}
+        )
+        assert protocol.states == frozenset({"x", "y", "z"})
+
+    def test_double_orientation_rejected(self):
+        with pytest.raises(ProtocolError, match="both orientations"):
+            TableProtocol(
+                "bad",
+                "a",
+                {
+                    ("a", "b", 0): ("a", "a", 0),
+                    ("b", "a", 0): ("b", "b", 0),
+                },
+            )
+
+    def test_declared_states_must_cover_rules(self):
+        with pytest.raises(ProtocolError, match="outside the declared set"):
+            TableProtocol(
+                "bad", "a", {("a", "b", 0): ("c", "b", 0)}, states=["a", "b"]
+            )
+
+    def test_invalid_rule_edge_state(self):
+        with pytest.raises(ProtocolError):
+            TableProtocol("bad", "a", {("a", "a", 2): ("a", "a", 0)})
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ProtocolError, match="sum"):
+            TableProtocol(
+                "bad",
+                "a",
+                {("a", "a", 0): [(0.5, Outcome("a", "b", 0))]},
+            )
+
+    def test_nonpositive_probability_rejected(self):
+        with pytest.raises(ProtocolError, match="positive"):
+            TableProtocol(
+                "bad",
+                "a",
+                {
+                    ("a", "a", 0): [
+                        (-0.5, Outcome("a", "b", 0)),
+                        (1.5, Outcome("b", "b", 0)),
+                    ]
+                },
+            )
+
+    def test_tuple_structured_states_as_rule_rhs(self):
+        protocol = TableProtocol(
+            "tuples",
+            ("s", 0),
+            {((("s", 0)), ("s", 0), 0): (("s", 1), ("s", 1), 1)},
+        )
+        dist = protocol.delta(("s", 0), ("s", 0), 0)
+        assert dist[0][1].a == ("s", 1)
+
+
+class TestResolve:
+    def test_forward_orientation(self):
+        protocol = make_simple()
+        dist, swapped = resolve(protocol, "a", "b", 0)
+        assert not swapped
+        assert dist[0][1] == Outcome("b", "b", 1)
+
+    def test_swapped_orientation(self):
+        protocol = make_simple()
+        dist, swapped = resolve(protocol, "b", "a", 0)
+        assert swapped
+
+    def test_undefined_triple(self):
+        protocol = make_simple()
+        assert resolve(protocol, "b", "b", 0) is None
+        assert resolve(protocol, "a", "b", 1) is None
+
+
+class TestEffectiveness:
+    def test_effective_rule_detected(self):
+        protocol = make_simple()
+        assert protocol.is_effective("a", "b", 0)
+        assert protocol.is_effective("b", "a", 0)  # either orientation
+
+    def test_ineffective_triples(self):
+        protocol = make_simple()
+        assert not protocol.is_effective("a", "a", 0)
+        assert not protocol.is_effective("a", "b", 1)
+
+    def test_identity_rule_is_ineffective(self):
+        protocol = TableProtocol(
+            "ident", "a", {("a", "a", 0): ("a", "a", 0)}
+        )
+        assert not protocol.is_effective("a", "a", 0)
+
+    def test_probabilistic_rule_effective_if_any_branch_changes(self):
+        protocol = TableProtocol(
+            "coin",
+            "a",
+            {("a", "b", 0): [(0.5, Outcome("a", "b", 0)), (0.5, Outcome("b", "b", 0))]},
+        )
+        assert protocol.is_effective("a", "b", 0)
+
+
+class TestSampling:
+    def test_deterministic_single_outcome(self):
+        dist = deterministic("x", "y", 1)
+        rng = random.Random(0)
+        assert sample_outcome(dist, rng) == Outcome("x", "y", 1)
+
+    def test_coin_flip_is_roughly_fair(self):
+        dist = coin_flip(("h", "h", 0), ("t", "t", 0))
+        rng = random.Random(1)
+        heads = sum(
+            1 for _ in range(4000) if sample_outcome(dist, rng).a == "h"
+        )
+        assert 1800 < heads < 2200
+
+    def test_rules_copy_returned(self):
+        protocol = make_simple()
+        rules = protocol.rules()
+        rules.clear()
+        assert protocol.rules()  # internal table unaffected

@@ -1,0 +1,134 @@
+"""Tests for kRC (Protocol 7, Theorem 11), the 2^d doubling construction,
+and c-Cliques (Protocol 8, Theorem 12)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.graphs import is_almost_k_regular_connected, is_spanning_ring
+from repro.core.simulator import AgitatedSimulator
+from repro.protocols import CCliques, KRegularConnected, NeighborDoubling
+from tests.conftest import converge
+
+
+class TestKRCSizes:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_size_is_2k_plus_2(self, k):
+        assert KRegularConnected(k).size == 2 * (k + 1)
+
+    def test_rejects_k_below_2(self):
+        with pytest.raises(ProtocolError):
+            KRegularConnected(1)
+
+    def test_k2_reproduces_2rc_rules(self):
+        from repro.protocols import TwoRegularConnected
+
+        krc = KRegularConnected(2).rules()
+        rc2 = TwoRegularConnected().rules()
+        assert len(krc) == len(rc2)
+        # identical unordered rule semantics
+        for (a, b, c), dist in rc2.items():
+            assert (a, b, c) in krc or (b, a, c) in krc
+
+
+@pytest.mark.parametrize("k", [2, 3, 4])
+class TestKRCConstruction:
+    def test_builds_almost_k_regular_connected(self, k):
+        for seed in range(4):
+            n = 3 * k + 2
+            result = converge(KRegularConnected(k), n, seed=seed)
+            assert result.converged
+            graph = result.config.output_graph()
+            assert is_almost_k_regular_connected(graph, k), (k, seed)
+
+    def test_degree_state_invariant(self, k):
+        protocol = KRegularConnected(k)
+        result = converge(protocol, 2 * k + 3, seed=11)
+        config = result.config
+        for u in range(config.n):
+            state = config.state(u)
+            assert config.degree(u) == int(state[1:]), (u, state)
+
+    def test_minimum_population(self, k):
+        result = converge(KRegularConnected(k), k + 1, seed=3)
+        assert result.converged
+        graph = result.config.output_graph()
+        # k+1 nodes at degree k is the complete graph K_{k+1}.
+        assert is_almost_k_regular_connected(graph, k)
+
+
+class TestKRC2IsRing:
+    def test_2rc_equivalence(self):
+        result = converge(KRegularConnected(2), 8, seed=5)
+        assert is_spanning_ring(result.config.output_graph())
+
+
+class TestNeighborDoubling:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_center_gets_exactly_2_to_d_neighbors(self, d):
+        protocol = NeighborDoubling(d)
+        n = 2**d + 3
+        result = converge(protocol, n, seed=d)
+        assert result.converged
+        assert protocol.target_reached(result.config)
+        assert result.config.degree(0) == 2**d
+
+    def test_population_too_small_rejected(self):
+        with pytest.raises(ProtocolError):
+            NeighborDoubling(3).initial_configuration(8)
+
+    def test_d_below_1_rejected(self):
+        with pytest.raises(ProtocolError):
+            NeighborDoubling(0)
+
+    def test_state_count_is_linear_in_d(self):
+        # Θ(d) states for 2^d neighbors: the target degree is not a
+        # lower bound on protocol size (Section 7 discussion).
+        sizes = [NeighborDoubling(d).size for d in (1, 2, 3, 4, 5)]
+        diffs = [b - a for a, b in zip(sizes, sizes[1:])]
+        assert all(delta == 2 for delta in diffs)
+
+
+class TestCCliques:
+    @pytest.mark.parametrize("c", [3, 4, 5])
+    def test_size_is_5c_minus_3(self, c):
+        assert CCliques(c).size == 5 * c - 3
+
+    def test_rejects_c_below_3(self):
+        with pytest.raises(ProtocolError):
+            CCliques(2)
+
+    @pytest.mark.parametrize("c,n", [(3, 9), (3, 11), (4, 8), (4, 10), (5, 10)])
+    def test_partitions_into_cliques(self, c, n):
+        protocol = CCliques(c)
+        for seed in range(3):
+            result = converge(protocol, n, seed=seed, check_interval=8)
+            assert result.converged, (c, n, seed)
+            graph = result.config.output_graph()
+            cliques = 0
+            for comp in nx.connected_components(graph):
+                sub = graph.subgraph(comp)
+                size = len(comp)
+                if size == c and sub.number_of_edges() == c * (c - 1) // 2:
+                    cliques += 1
+            assert cliques == n // c, (c, n, seed)
+
+    def test_leftover_component_size(self):
+        result = converge(CCliques(3), 11, seed=2, check_interval=8)
+        graph = result.config.output_graph()
+        sizes = sorted(len(c) for c in nx.connected_components(graph))
+        assert sizes.count(3) >= 3
+        assert sum(s for s in sizes if s != 3) == 11 % 3
+
+    def test_wrong_connections_eventually_corrected(self, seeds):
+        """The patrol mechanism deactivates inter-component follower
+        edges: at stabilization no edge joins two different cliques."""
+        protocol = CCliques(3)
+        for seed in seeds:
+            result = converge(protocol, 9, seed=seed, check_interval=8)
+            graph = result.config.output_graph()
+            for comp in nx.connected_components(graph):
+                sub = graph.subgraph(comp)
+                assert sub.number_of_edges() == len(comp) * (len(comp) - 1) // 2

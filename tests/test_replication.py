@@ -1,0 +1,97 @@
+"""Tests for Graph-Replication (Protocol 9, Theorem 13)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import ProtocolError, SimulationError
+from repro.core.graphs import isomorphic
+from repro.protocols import GraphReplication
+from tests.conftest import converge
+
+
+class TestConstruction:
+    def test_12_states(self):
+        assert GraphReplication(nx.path_graph(3)).size == 12
+
+    def test_disconnected_input_rejected(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ProtocolError):
+            GraphReplication(g)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ProtocolError):
+            GraphReplication(nx.Graph())
+
+    def test_population_must_fit_replica(self):
+        protocol = GraphReplication(nx.path_graph(4))
+        with pytest.raises(SimulationError):
+            protocol.initial_configuration(7)
+
+    def test_initial_configuration_layout(self):
+        protocol = GraphReplication(nx.cycle_graph(3))
+        config = protocol.initial_configuration(8)
+        assert config.states()[:3] == ["q0"] * 3
+        assert config.states()[3:] == ["r0"] * 5
+        assert config.n_active_edges == 3  # exactly E1
+
+
+@pytest.mark.parametrize(
+    "graph",
+    [
+        nx.path_graph(3),
+        nx.cycle_graph(4),
+        nx.star_graph(3),
+        nx.complete_graph(4),
+    ],
+    ids=["path3", "cycle4", "star4", "K4"],
+)
+class TestReplication:
+    def test_replica_is_isomorphic(self, graph):
+        protocol = GraphReplication(graph)
+        n1 = graph.number_of_nodes()
+        result = converge(protocol, 2 * n1 + 1, seed=42, check_interval=4)
+        assert result.converged
+        assert protocol.target_reached(result.config)
+
+    def test_output_graph_matches_input(self, graph):
+        protocol = GraphReplication(graph)
+        n1 = graph.number_of_nodes()
+        result = converge(protocol, 2 * n1, seed=7, check_interval=4)
+        replica = result.config.output_graph(protocol.output_states)
+        replica.remove_nodes_from(list(nx.isolates(replica)))
+        assert isomorphic(replica, graph)
+
+
+class TestZeroWaste:
+    def test_surplus_v2_nodes_remain_untouched(self):
+        graph = nx.path_graph(3)
+        protocol = GraphReplication(graph)
+        result = converge(protocol, 9, seed=3, check_interval=4)
+        # |V2| - |V1| = 3 nodes must still be in r0 with no active edges.
+        untouched = result.config.nodes_in_state("r0")
+        assert len(untouched) == 3
+        for u in untouched:
+            assert result.config.degree(u) == 0
+
+    def test_input_graph_preserved(self):
+        graph = nx.cycle_graph(4)
+        protocol = GraphReplication(graph)
+        result = converge(protocol, 8, seed=5, check_interval=4)
+        original = result.config.active_subgraph(range(4))
+        assert isomorphic(original, graph)
+
+    def test_matching_is_injective(self):
+        protocol = GraphReplication(nx.path_graph(4))
+        result = converge(protocol, 8, seed=9, check_interval=4)
+        mu = protocol.matching(result.config)
+        assert len(mu) == 4
+        assert len(set(mu.values())) == 4
+
+    def test_single_leader_survives(self, seeds):
+        protocol = GraphReplication(nx.path_graph(3))
+        for seed in seeds:
+            result = converge(protocol, 6, seed=seed, check_interval=4)
+            assert result.config.state_counts().get("l", 0) == 1

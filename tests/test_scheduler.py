@@ -1,0 +1,85 @@
+"""Tests for the fair schedulers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.scheduler import (
+    AdversarialLaggardScheduler,
+    RoundRobinScheduler,
+    ScriptedScheduler,
+    UniformRandomScheduler,
+)
+
+
+def draw(scheduler, n, count, seed=0):
+    rng = random.Random(seed)
+    stream = scheduler.pairs(n, rng)
+    return [next(stream) for _ in range(count)]
+
+
+class TestUniformRandom:
+    def test_pairs_are_valid(self):
+        for u, v in draw(UniformRandomScheduler(), 6, 500):
+            assert u != v
+            assert 0 <= u < 6 and 0 <= v < 6
+
+    def test_marginals_are_uniform(self):
+        n, count = 5, 40_000
+        pairs = draw(UniformRandomScheduler(), n, count, seed=1)
+        hist = Counter(frozenset(p) for p in pairs)
+        m = n * (n - 1) // 2
+        expected = count / m
+        for pair in itertools.combinations(range(n), 2):
+            assert abs(hist[frozenset(pair)] - expected) < 0.1 * expected
+
+    def test_rejects_single_node(self):
+        with pytest.raises(SimulationError):
+            next(UniformRandomScheduler().pairs(1, random.Random(0)))
+
+
+class TestRoundRobin:
+    def test_every_pair_once_per_sweep(self):
+        n = 6
+        m = n * (n - 1) // 2
+        pairs = draw(RoundRobinScheduler(), n, 3 * m)
+        for sweep in range(3):
+            chunk = pairs[sweep * m : (sweep + 1) * m]
+            assert len({frozenset(p) for p in chunk}) == m
+
+
+class TestLaggard:
+    def test_lagged_nodes_interact_less(self):
+        n, count = 8, 30_000
+        scheduler = AdversarialLaggardScheduler(lagged={0}, bias=0.9)
+        pairs = draw(scheduler, n, count, seed=2)
+        touching = sum(1 for p in pairs if 0 in p)
+        baseline = count * 2 / n  # uniform share
+        assert touching < 0.55 * baseline
+
+    def test_lagged_nodes_still_interact(self):
+        scheduler = AdversarialLaggardScheduler(lagged={0}, bias=0.95)
+        pairs = draw(scheduler, 4, 5_000, seed=3)
+        assert any(0 in p for p in pairs)  # fair w.p. 1
+
+    def test_bias_validation(self):
+        with pytest.raises(SimulationError):
+            AdversarialLaggardScheduler(lagged={0}, bias=1.0)
+
+
+class TestScripted:
+    def test_replays_then_falls_back(self):
+        scheduler = ScriptedScheduler([(0, 1), (1, 2)])
+        pairs = draw(scheduler, 3, 5)
+        assert pairs[:2] == [(0, 1), (1, 2)]
+        assert all(u != v for u, v in pairs[2:])
+
+    def test_invalid_script_pair(self):
+        scheduler = ScriptedScheduler([(0, 5)])
+        with pytest.raises(SimulationError):
+            draw(scheduler, 3, 1)

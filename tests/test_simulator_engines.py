@@ -1,0 +1,191 @@
+"""Tests for the two simulation engines, including their equivalence.
+
+The event-driven engine's geometric skip must be *distributionally
+identical* to the sequential engine under the uniform random scheduler —
+verified here on processes whose expected times are known exactly.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.errors import ConvergenceError, SimulationError
+from repro.core.protocol import TableProtocol
+from repro.core.simulator import (
+    AgitatedSimulator,
+    SequentialSimulator,
+    apply_interaction,
+    run_to_convergence,
+)
+from repro.core.trace import Trace
+from repro.processes import (
+    OneWayEpidemic,
+    one_way_epidemic_expectation,
+)
+from repro.protocols import GlobalStar
+
+
+class TestApplyInteraction:
+    def test_identity_when_undefined(self):
+        protocol = TableProtocol("t", "a", {("a", "b", 0): ("b", "b", 0)})
+        config = Configuration(["a", "a"])
+        import random
+
+        result = apply_interaction(protocol, config, 0, 1, random.Random(0))
+        assert not result.changed
+
+    def test_swapped_orientation_applies_to_right_nodes(self):
+        protocol = TableProtocol("t", "a", {("a", "b", 0): ("x", "y", 1)})
+        config = Configuration(["b", "a"])  # rule matches (b=node1, a=node0)
+        import random
+
+        result = apply_interaction(protocol, config, 0, 1, random.Random(0))
+        assert result.changed
+        assert config.state(0) == "y"  # node 0 held 'b', the second slot
+        assert config.state(1) == "x"
+        assert config.edge_state(0, 1) == 1
+
+    def test_symmetry_breaking_is_equiprobable(self):
+        protocol = TableProtocol("t", "a", {("a", "a", 0): ("w", "l", 0)})
+        import random
+
+        rng = random.Random(7)
+        firsts = 0
+        for _ in range(2000):
+            config = Configuration(["a", "a"])
+            apply_interaction(protocol, config, 0, 1, rng)
+            if config.state(0) == "w":
+                firsts += 1
+        assert 850 < firsts < 1150
+
+    def test_self_interaction_rejected(self):
+        protocol = TableProtocol("t", "a", {})
+        config = Configuration(["a", "a"])
+        import random
+
+        with pytest.raises(SimulationError):
+            apply_interaction(protocol, config, 0, 0, random.Random(0))
+
+
+class TestSequentialEngine:
+    def test_stabilizes_star(self):
+        sim = SequentialSimulator(seed=0)
+        result = sim.run(GlobalStar(), 10, max_steps=500_000)
+        assert result.converged
+        assert GlobalStar().target_reached(result.config)
+
+    def test_max_steps_respected(self):
+        sim = SequentialSimulator(seed=0)
+        result = sim.run(GlobalStar(), 30, max_steps=5)
+        assert not result.converged
+        assert result.steps == 5
+        assert result.stop_reason == "max_steps"
+
+    def test_require_convergence_raises(self):
+        sim = SequentialSimulator(seed=0)
+        with pytest.raises(ConvergenceError):
+            sim.run(GlobalStar(), 30, max_steps=5, require_convergence=True)
+
+    def test_trace_records_events(self):
+        trace = Trace()
+        sim = SequentialSimulator(seed=1)
+        result = sim.run(GlobalStar(), 8, max_steps=500_000, trace=trace)
+        assert result.converged
+        assert len(trace) == result.effective_steps
+        assert trace.activations()  # the star activated edges
+
+
+class TestAgitatedEngine:
+    def test_quiescence_detection(self):
+        protocol = TableProtocol("t", "a", {("a", "a", 0): ("b", "b", 1)})
+        result = AgitatedSimulator(seed=0).run(protocol, 4, None)
+        assert result.converged
+        assert result.stop_reason in ("quiescent", "stabilized")
+
+    def test_steps_dominate_effective_steps(self):
+        result = run_to_convergence(GlobalStar(), 16, seed=2)
+        assert result.steps >= result.effective_steps
+
+    def test_max_steps_budget(self):
+        result = AgitatedSimulator(seed=0).run(GlobalStar(), 40, max_steps=10)
+        assert not result.converged
+        assert result.steps == 10
+
+    def test_max_effective_budget(self):
+        result = AgitatedSimulator(seed=0).run(
+            GlobalStar(), 40, None, max_effective_steps=3
+        )
+        assert result.effective_steps <= 3
+
+    def test_in_place_configuration(self):
+        protocol = TableProtocol("t", "a", {("a", "a", 0): ("b", "b", 1)})
+        config = protocol.initial_configuration(4)
+        AgitatedSimulator(seed=0).run(
+            protocol, 4, None, config=config, copy_config=False
+        )
+        assert config.state_counts().get("b", 0) == 4
+
+    def test_seed_reproducibility(self):
+        r1 = run_to_convergence(GlobalStar(), 20, seed=11)
+        r2 = run_to_convergence(GlobalStar(), 20, seed=11)
+        assert r1.steps == r2.steps
+        assert r1.config == r2.config
+
+
+class TestEngineEquivalence:
+    """Both engines must sample the same convergence-time distribution."""
+
+    def test_epidemic_means_agree_with_theory_and_each_other(self):
+        n, trials = 12, 400
+        exact = one_way_epidemic_expectation(n)
+
+        seq_times = []
+        for seed in range(trials):
+            sim = SequentialSimulator(seed=seed)
+            result = sim.run(OneWayEpidemic(), n, max_steps=100_000)
+            seq_times.append(result.last_change_step)
+        agit_times = []
+        for seed in range(trials):
+            result = AgitatedSimulator(seed=seed).run(OneWayEpidemic(), n, None)
+            agit_times.append(result.last_change_step)
+
+        seq_mean = statistics.fmean(seq_times)
+        agit_mean = statistics.fmean(agit_times)
+        assert abs(seq_mean - exact) / exact < 0.15
+        assert abs(agit_mean - exact) / exact < 0.15
+        assert abs(seq_mean - agit_mean) / exact < 0.2
+
+    def test_same_stable_outputs(self):
+        for seed in range(5):
+            seq = SequentialSimulator(seed=seed).run(
+                GlobalStar(), 9, max_steps=10_000_000
+            )
+            agit = AgitatedSimulator(seed=seed).run(GlobalStar(), 9, None)
+            assert seq.converged and agit.converged
+            assert GlobalStar().target_reached(seq.config)
+            assert GlobalStar().target_reached(agit.config)
+
+    def test_step_count_distributions_ks(self):
+        """Two-sample Kolmogorov-Smirnov: the full convergence-time
+        distributions (not just the means) of the two engines must be
+        indistinguishable — the geometric-skip construction is exact."""
+        from scipy.stats import ks_2samp
+
+        n, trials = 8, 500
+        seq_times = [
+            SequentialSimulator(seed=s).run(
+                OneWayEpidemic(), n, max_steps=100_000
+            ).last_change_step
+            for s in range(trials)
+        ]
+        agit_times = [
+            AgitatedSimulator(seed=10_000 + s)
+            .run(OneWayEpidemic(), n, None)
+            .last_change_step
+            for s in range(trials)
+        ]
+        statistic, p_value = ks_2samp(seq_times, agit_times)
+        assert p_value > 0.001, (statistic, p_value)

@@ -1,0 +1,105 @@
+"""Tests for the Theorem 18 supernode organization."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.graphs import line_components
+from repro.generic import (
+    layout_configuration,
+    organize_supernodes,
+    read_names,
+    realize_supernode_network,
+    triangle_partition,
+)
+
+
+class TestOrganization:
+    def test_minimum_population(self):
+        with pytest.raises(SimulationError):
+            organize_supernodes(7)
+
+    @pytest.mark.parametrize("n", [8, 12, 24, 50, 100, 300])
+    def test_k_lines_of_phase_length(self, n):
+        layout = organize_supernodes(n)
+        assert all(s.length == layout.phase for s in layout.supernodes)
+        used = layout.k * layout.phase + len(layout.waste_agents)
+        assert used == n
+
+    def test_phase_doubling(self):
+        # Phase j ends with 2^j lines of length j.
+        layout = organize_supernodes(24 + 2)
+        assert layout.k == 8 and layout.phase == 3
+        layout = organize_supernodes(4 * 2 + 8 + 8 * 3)
+        assert layout.k in (8, 16)
+
+    def test_memory_is_logarithmic(self):
+        for n in (24, 64, 200, 500):
+            layout = organize_supernodes(n)
+            k = layout.k
+            # lines of length j hold log2(2^j) = j = log2 k bits
+            assert layout.phase == (k - 1).bit_length() or k == 4
+
+    def test_names_unique_and_dense(self):
+        layout = organize_supernodes(60)
+        names = [s.name for s in layout.supernodes]
+        assert names == list(range(layout.k))
+
+    def test_agents_partitioned(self):
+        layout = organize_supernodes(40)
+        seen = set(layout.waste_agents)
+        for line in layout.supernodes:
+            for agent in line.agents:
+                assert agent not in seen
+                seen.add(agent)
+        assert len(seen) == 40
+
+
+class TestConfiguration:
+    def test_lines_materialized(self):
+        layout = organize_supernodes(26)
+        config = layout_configuration(layout)
+        # Remove the leader's hub connections to inspect the lines.
+        hub = layout.supernodes[0].left
+        for line in layout.supernodes[1:]:
+            config.set_edge(hub, line.left, 0)
+        paths = line_components(config.output_graph())
+        lengths = sorted(len(p) for p in paths if len(p) > 1)
+        assert lengths == [layout.phase] * layout.k
+
+    def test_names_stored_in_line_bits(self):
+        layout = organize_supernodes(26)
+        config = layout_configuration(layout)
+        assert read_names(layout, config) == list(range(layout.k))
+
+    def test_endpoint_roles(self):
+        layout = organize_supernodes(26)
+        config = layout_configuration(layout)
+        for line in layout.supernodes:
+            assert config.state(line.left)[2] == "left"
+            assert config.state(line.right)[2] == "right"
+
+
+class TestTriangleApplication:
+    def test_partition_into_triangles(self):
+        layout = organize_supernodes(100)  # k = 16
+        graph = triangle_partition(layout)
+        comps = list(nx.connected_components(graph))
+        triangles = [c for c in comps if len(c) == 3]
+        isolated = [c for c in comps if len(c) == 1]
+        assert len(triangles) == layout.k // 3
+        assert len(isolated) == layout.k % 3
+        for tri in triangles:
+            sub = graph.subgraph(tri)
+            assert sub.number_of_edges() == 3
+
+    def test_realize_at_agent_level(self):
+        layout = organize_supernodes(26)  # k = 8
+        network = triangle_partition(layout)
+        config = realize_supernode_network(layout, network)
+        for a, b in network.edges():
+            assert config.edge_state(
+                layout.supernodes[a].right, layout.supernodes[b].right
+            ) == 1

@@ -1,0 +1,140 @@
+"""Tests for the raw Turing-machine substrate and the graph deciders."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import EncodingError, MachineError
+from repro.generic.random_graphs import gnp
+from repro.tm import (
+    BLANK,
+    TMDecider,
+    TuringMachine,
+    decode_tape,
+    edge_bit_index,
+    encode_graph,
+    even_edges_machine,
+    order_from_length,
+    registry,
+)
+from repro.tm.machine import Step
+
+
+class TestMachineBasics:
+    def test_invalid_move_rejected(self):
+        with pytest.raises(MachineError):
+            Step("s", "0", "X")
+
+    def test_missing_transition_raises(self):
+        machine = TuringMachine("t", {}, start="s")
+        with pytest.raises(MachineError, match="no transition"):
+            machine.run(["0"])
+
+    def test_off_tape_move_raises(self):
+        machine = TuringMachine(
+            "t", {("s", "0"): ("s", "0", "L")}, start="s"
+        )
+        with pytest.raises(MachineError, match="off the bounded tape"):
+            machine.run(["0"])
+
+    def test_accept_reject_states_halt(self):
+        machine = TuringMachine(
+            "t", {("s", "0"): ("accept", "0", "S")}, start="s"
+        )
+        result = machine.run(["0"])
+        assert result.halted and result.accepted
+
+    def test_step_budget(self):
+        machine = TuringMachine(
+            "loop",
+            {("s", "0"): ("s2", "0", "R"), ("s2", "0"): ("s", "0", "L")},
+            start="s",
+        )
+        result = machine.run(["0", "0"], max_steps=10)
+        assert not result.halted
+        with pytest.raises(MachineError):
+            machine.accepts(["0", "0"], max_steps=10)
+
+    def test_cells_used_tracked(self):
+        machine = even_edges_machine()
+        result = machine.run(["1", "0", BLANK])
+        assert result.cells_used == 3
+
+
+class TestEncoding:
+    def test_roundtrip_random_graphs(self):
+        import random
+
+        rng = random.Random(0)
+        for k in (2, 3, 5, 8):
+            graph = gnp(k, 0.4, rng)
+            assert nx.is_isomorphic(graph, decode_tape(encode_graph(graph)))
+
+    def test_length_is_triangular(self):
+        assert order_from_length(10) == 5
+        with pytest.raises(EncodingError):
+            order_from_length(7)
+
+    def test_edge_bit_index_bijective(self):
+        k = 6
+        seen = {edge_bit_index(i, j, k) for i in range(k) for j in range(i + 1, k)}
+        assert seen == set(range(k * (k - 1) // 2))
+
+    def test_edge_bit_index_matches_encoding(self):
+        graph = nx.Graph([(0, 3), (2, 4)])
+        graph.add_nodes_from(range(5))
+        bits = encode_graph(graph)
+        assert bits[edge_bit_index(0, 3, 5)] == "1"
+        assert bits[edge_bit_index(2, 4, 5)] == "1"
+        assert sum(b == "1" for b in bits) == 2
+
+    def test_invalid_symbols_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_tape(["1", "x", "0"])
+
+    def test_ordering_validation(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(EncodingError):
+            encode_graph(graph, nodes=[0, 0, 1])
+        with pytest.raises(EncodingError):
+            encode_graph(graph, nodes=[0, 1])
+
+
+class TestDecidersAgainstGroundTruth:
+    """Every decider must agree with the obvious Python predicate on a
+    batch of random graphs."""
+
+    TRUTHS = {
+        "has-edge": lambda g: g.number_of_edges() >= 1,
+        "empty": lambda g: g.number_of_edges() == 0,
+        "complete": lambda g: g.number_of_edges()
+        == g.number_of_nodes() * (g.number_of_nodes() - 1) // 2,
+        "even-edges": lambda g: g.number_of_edges() % 2 == 0,
+        "one-edge": lambda g: g.number_of_edges() == 1,
+        "zigzag-nonempty": lambda g: g.number_of_edges() >= 1,
+        "connected": nx.is_connected,
+        "min-degree-1": lambda g: all(d >= 1 for _, d in g.degree()),
+        "2-regular": lambda g: all(d == 2 for _, d in g.degree()),
+        "triangle-free": lambda g: sum(nx.triangles(g).values()) == 0,
+        "tree": nx.is_tree,
+        "bipartite": nx.is_bipartite,
+    }
+
+    @pytest.mark.parametrize("name", sorted(TRUTHS))
+    def test_decider_matches_truth(self, name):
+        import random
+
+        deciders = registry()
+        rng = random.Random(17)
+        for trial in range(25):
+            k = rng.randint(2, 7)
+            graph = gnp(k, rng.choice([0.2, 0.5, 0.8]), rng)
+            expected = self.TRUTHS[name](graph)
+            assert deciders[name].decide(graph) == expected, (name, trial)
+
+    def test_tm_decider_tape_has_sentinel(self):
+        decider = registry()["has-edge"]
+        assert isinstance(decider, TMDecider)
+        tape = decider.tape_for(nx.path_graph(3))
+        assert tape[-1] == BLANK

@@ -1,0 +1,70 @@
+"""Tests for the reusable TM programs (population counting)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import MachineError
+from repro.tm.programs import (
+    CONSUMED,
+    LEFT_END,
+    RIGHT_END,
+    count_population_machine,
+    counting_tape,
+    read_counter,
+)
+
+
+class TestCountingTape:
+    def test_shape(self):
+        tape = counting_tape(6)
+        assert tape[0] == LEFT_END and tape[-1] == RIGHT_END
+        assert len(tape) == 6
+
+    def test_too_small_rejected(self):
+        with pytest.raises(MachineError):
+            counting_tape(2)
+
+
+class TestReadCounter:
+    def test_reads_msb_first(self):
+        value, digits = read_counter([LEFT_END, CONSUMED, "1", "0", "1", RIGHT_END])
+        assert value == 5 and digits == 3
+
+    def test_empty_counter(self):
+        assert read_counter([LEFT_END, "_", RIGHT_END]) == (0, 0)
+
+    def test_requires_right_marker(self):
+        with pytest.raises(MachineError):
+            read_counter(["1", "0"])
+
+
+class TestCountingMachine:
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=3, max_value=300))
+    def test_count_matches_consumed_cells(self, n):
+        machine = count_population_machine()
+        result = machine.run(counting_tape(n))
+        assert result.accepted
+        value, digits = read_counter(result.tape)
+        consumed = result.tape.count(CONSUMED)
+        assert value in (consumed, consumed + 1)
+        assert consumed + digits + 2 == n
+
+    def test_counter_size_is_logarithmic(self):
+        machine = count_population_machine()
+        for n in (10, 100, 250):
+            result = machine.run(counting_tape(n))
+            _, digits = read_counter(result.tape)
+            assert digits <= n.bit_length()
+
+    def test_estimate_quality(self):
+        """The counter value is a 'very good estimate' of n: off by at
+        most the counter length + 2 markers + 1."""
+        machine = count_population_machine()
+        for n in (8, 33, 150):
+            result = machine.run(counting_tape(n))
+            value, digits = read_counter(result.tape)
+            assert n - value <= digits + 3

@@ -1,0 +1,175 @@
+"""Tests for the universal constructors (Theorems 14, 16, 17; Figure 3)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import ConvergenceError, SimulationError
+from repro.generic import (
+    LogWasteConstructor,
+    NoWasteConstructor,
+    UniversalConstructor,
+    chi_square_critical,
+    chi_square_uniformity,
+    core_multiplicity,
+    expected_attempts,
+    gnp,
+    graph_signature,
+    language_probability,
+    random_bounded_degree_graph,
+)
+from repro.tm.deciders import PythonDecider, registry
+
+
+class TestUniversalConstructor:
+    def test_rule_level_constructs_language_member(self):
+        deciders = registry()
+        uc = UniversalConstructor(deciders["even-edges"], rule_level=True)
+        report = uc.construct(12, seed=1)
+        assert report.graph.number_of_edges() % 2 == 0
+        assert report.useful_space == 6
+        assert report.waste == 6
+
+    def test_decide_on_line_full_stack(self):
+        deciders = registry()
+        uc = UniversalConstructor(
+            deciders["even-edges"], rule_level=True, decide_on_line=True
+        )
+        report = uc.construct(10, seed=2)
+        assert report.decided_on_line
+        assert report.graph.number_of_edges() % 2 == 0
+
+    def test_decide_on_line_requires_tm_decider(self):
+        with pytest.raises(SimulationError):
+            UniversalConstructor(
+                registry()["connected"], decide_on_line=True
+            )
+
+    def test_fast_mode_connected(self):
+        uc = UniversalConstructor(registry()["connected"], rule_level=False)
+        report = uc.construct(30, seed=3)
+        assert nx.is_connected(report.graph)
+        assert report.graph.number_of_nodes() == 15
+
+    def test_impossible_language_raises(self):
+        impossible = PythonDecider("never", lambda g: False, "O(1)")
+        uc = UniversalConstructor(impossible, rule_level=False)
+        with pytest.raises(ConvergenceError):
+            uc.construct(10, seed=4, max_attempts=5)
+
+    def test_population_too_small(self):
+        uc = UniversalConstructor(registry()["connected"], rule_level=False)
+        with pytest.raises(SimulationError):
+            uc.construct(3, seed=0)
+
+    def test_attempt_counts_follow_language_probability(self):
+        """The Figure 3 loop repeats geometrically: mean attempts ≈
+        1 / P[G in L] (paper Remark 1)."""
+        decider = registry()["even-edges"]  # probability exactly 1/2
+        attempts = []
+        for seed in range(300):
+            uc = UniversalConstructor(decider, rule_level=False)
+            attempts.append(uc.construct(12, seed=seed).attempts)
+        mean = sum(attempts) / len(attempts)
+        assert abs(mean - 2.0) < 0.35
+
+    def test_released_configuration(self):
+        deciders = registry()
+        uc = UniversalConstructor(deciders["even-edges"], rule_level=True)
+        report = uc.construct(8, seed=5)
+        config = report.final_configuration
+        assert config is not None
+        # vertical matching released, D-nodes in the output state
+        for i in range(report.useful_space):
+            u, d = 2 * i, 2 * i + 1
+            assert config.edge_state(u, d) == 0
+            assert config.state(d) == ("D", "out", None)
+
+
+class TestEquiprobability:
+    def test_all_labelled_graphs_equally_likely(self):
+        """Theorem 14's drawing phase: every labelled graph on k nodes
+        has probability 2^-C(k,2) — chi-square on k=3 (8 graphs)."""
+        import random
+
+        rng = random.Random(0)
+        counts = Counter(
+            graph_signature(gnp(3, 0.5, rng)) for _ in range(8000)
+        )
+        stat = chi_square_uniformity(counts, 8)
+        assert stat < chi_square_critical(7, alpha=0.001)
+
+    def test_rule_level_coins_equiprobable(self):
+        """Same chi-square through the interaction-level coin machinery
+        (k=3, 8 possible graphs)."""
+        decider = PythonDecider("all", lambda g: True, "O(1)")
+        counts = Counter()
+        for seed in range(400):
+            uc = UniversalConstructor(decider, rule_level=True)
+            report = uc.construct(6, seed=seed)
+            counts[graph_signature(report.graph)] += 1
+        stat = chi_square_uniformity(counts, 8)
+        assert stat < chi_square_critical(7, alpha=0.001)
+
+    def test_language_probability_estimator(self):
+        p = language_probability(registry()["even-edges"], 8, 2000, seed=1)
+        assert abs(p - 0.5) < 0.05
+        assert expected_attempts(0.5) == 2.0
+        assert expected_attempts(0.0) == float("inf")
+
+
+class TestLogWaste:
+    def test_report_invariants(self):
+        lw = LogWasteConstructor(registry()["connected"])
+        report = lw.construct(40, seed=1)
+        assert report.useful_space + report.memory_cells == 40
+        assert report.memory_cells <= 2 * (40).bit_length()
+        assert nx.is_connected(report.graph)
+        assert report.graph.number_of_nodes() == report.useful_space
+
+    def test_counting_on_agent_line(self):
+        lw = LogWasteConstructor(
+            registry()["min-degree-1"], count_on_line=True
+        )
+        report = lw.construct(10, seed=2)
+        assert report.counting_interactions > 0
+        assert all(d >= 1 for _, d in report.graph.degree())
+
+    def test_waste_is_logarithmic(self):
+        lw = LogWasteConstructor(PythonDecider("all", lambda g: True, "O(1)"))
+        for n in (16, 64, 128):
+            report = lw.construct(n, seed=n)
+            assert report.waste <= 2 * n.bit_length()
+
+
+class TestNoWaste:
+    def test_constructs_on_full_population(self):
+        nw = NoWasteConstructor(registry()["connected"])
+        report = nw.construct(20, seed=3)
+        assert report.waste == 0
+        assert report.graph.number_of_nodes() == 20
+        assert nx.is_connected(report.graph)
+
+    def test_core_is_bounded_degree_connected(self):
+        import random
+
+        rng = random.Random(5)
+        core = random_bounded_degree_graph(list(range(6)), 3, rng)
+        assert nx.is_connected(core)
+        assert max(d for _, d in core.degree()) <= 3
+
+    def test_core_degree_bound_validated(self):
+        import random
+
+        with pytest.raises(SimulationError):
+            random_bounded_degree_graph([0, 1, 2], 1, random.Random(0))
+
+    def test_core_multiplicity_counts(self):
+        # A triangle contains 3 connected 2-subsets of degree <= 2.
+        tri = nx.complete_graph(3)
+        assert core_multiplicity(tri, 2, 2) == 3
+        path = nx.path_graph(3)
+        assert core_multiplicity(path, 2, 2) == 2

@@ -1,0 +1,94 @@
+"""Tests for the visualization helpers and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import PROTOCOLS, main
+from repro.core.configuration import Configuration
+from repro.core.trace import Trace
+from repro.viz import (
+    adjacency_art,
+    component_summary,
+    configuration_to_dot,
+    render_line,
+    render_star,
+    state_summary,
+    trace_to_dot_frames,
+)
+
+
+@pytest.fixture
+def star_config():
+    return Configuration(
+        ["c", "p", "p", "p"], [(0, 1), (0, 2), (0, 3)]
+    )
+
+
+class TestAsciiArt:
+    def test_state_summary(self, star_config):
+        text = state_summary(star_config)
+        assert "p:3" in text and "c:1" in text
+
+    def test_component_summary_detects_star(self, star_config):
+        assert "star" in component_summary(star_config)
+
+    def test_component_summary_shapes(self):
+        config = Configuration(
+            ["a"] * 7, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 3)]
+        )
+        text = component_summary(config)
+        assert "line" in text and "cycle" in text and "isolated" in text
+
+    def test_render_line(self):
+        config = Configuration(["q1", "q2", "l"], [(0, 1), (1, 2)])
+        assert render_line(config, [0, 1, 2]) == "(q1)--(q2)--(l)"
+
+    def test_render_star(self, star_config):
+        assert "3 rays" in render_star(star_config)
+
+    def test_adjacency_art(self, star_config):
+        art = adjacency_art(star_config)
+        assert "#" in art
+        big = Configuration.uniform(64, "a")
+        assert "suppressed" in adjacency_art(big)
+
+
+class TestDot:
+    def test_configuration_to_dot(self, star_config):
+        dot = configuration_to_dot(star_config, highlight_states={"c"})
+        assert "graph net {" in dot
+        assert "0 -- 1" in dot
+        assert "lightblue" in dot
+
+    def test_trace_frames(self, star_config):
+        trace = Trace(snapshot_predicate=lambda step, cfg: True)
+        from repro.core.trace import Event
+
+        trace.record(Event(1, 0, 1, "c", "c", "c", "p", 0, 1), star_config)
+        frames = trace_to_dot_frames(trace)
+        assert len(frames) == 1 and "graph" in frames[0]
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "global-star" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "global-star", "-n", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "target reached: True" in out
+
+    def test_sweep_command(self, capsys):
+        assert main(
+            ["sweep", "cycle-cover", "--sizes", "8,12,16", "--trials", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fit:" in out
+
+    def test_all_registered_protocols_run(self):
+        for name, factory in PROTOCOLS.items():
+            protocol = factory()
+            assert protocol.size >= 2, name
