@@ -10,21 +10,22 @@ from __future__ import annotations
 
 import statistics
 
-from repro.analysis import fit_power_law, run_trials, summarize
+from repro.analysis import fit_power_law, measure_convergence
 
 
 def sweep(protocol_factory, sizes, trials, *, measure="output", base_seed=0,
-          check_interval=1):
-    """Mean convergence times across population sizes."""
-    means = {}
-    for n in sizes:
-        times = run_trials(
-            protocol_factory, n, trials,
-            measure=measure, base_seed=base_seed,
-            check_interval=check_interval,
-        )
-        means[n] = summarize(n, times)
-    return means
+          check_interval=1, engine="indexed"):
+    """Mean convergence times across population sizes — thin wrapper over
+    :func:`repro.analysis.measure_convergence`.
+
+    ``engine`` selects a :data:`repro.core.simulator.ENGINES` entry; the
+    default state-indexed engine is what lets the sweeps reach sizes the
+    per-node-rescan engine could not."""
+    return measure_convergence(
+        protocol_factory, sizes, trials,
+        measure=measure, base_seed=base_seed,
+        check_interval=check_interval, engine=engine,
+    )
 
 
 def fitted_exponent(means, log_power=0):

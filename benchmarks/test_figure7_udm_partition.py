@@ -52,7 +52,9 @@ def test_figure8_rule_usage(benchmark):
 
 
 def test_figure7_convergence_scaling(benchmark):
-    means = sweep(UDMPartition, (12, 18, 27, 39), 15, measure="last_change")
+    # 30 trials: the 4-point fitted exponent wobbles outside the band at
+    # 15 trials on some seed streams.
+    means = sweep(UDMPartition, (12, 18, 27, 39), 30, measure="last_change")
     print_sweep("Figure 7 / (U,D,M) partitioning time", means)
     fit = fitted_exponent(means)
     print(f"fitted: {fit.describe()}")

@@ -14,7 +14,9 @@ from benchmarks.conftest import fitted_exponent, print_sweep, sweep
 from repro.analysis import run_trials
 from repro.protocols import FasterGlobalLine, FastGlobalLine, SimpleGlobalLine
 
-SIZES = (8, 12, 16, 22, 30)
+# One tier beyond the seed's largest size (30): the state-indexed engine
+# makes the n=44 cells affordable.
+SIZES = (8, 12, 16, 22, 30, 44)
 TRIALS = 15
 
 

@@ -23,28 +23,34 @@ True
 """
 
 from repro.core import (
+    ENGINES,
     AgitatedSimulator,
     Configuration,
+    IndexedSimulator,
     Protocol,
     RunResult,
     SequentialSimulator,
     TableProtocol,
     Trace,
     UniformRandomScheduler,
+    make_engine,
     run_to_convergence,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AgitatedSimulator",
     "Configuration",
+    "ENGINES",
+    "IndexedSimulator",
     "Protocol",
     "RunResult",
     "SequentialSimulator",
     "TableProtocol",
     "Trace",
     "UniformRandomScheduler",
+    "make_engine",
     "run_to_convergence",
     "__version__",
 ]

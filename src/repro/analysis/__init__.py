@@ -1,5 +1,6 @@
 """Measurement and estimation toolkit for the benchmark harness."""
 
+from repro.analysis.bench import BenchCell, bench_engines, format_bench
 from repro.analysis.experiments import (
     MEASURES,
     Summary,
@@ -16,10 +17,13 @@ from repro.analysis.fitting import (
 from repro.analysis.tables import format_mean_ci, render_table
 
 __all__ = [
+    "BenchCell",
     "MEASURES",
     "PowerLawFit",
     "Summary",
+    "bench_engines",
     "crossover_size",
+    "format_bench",
     "empirical_ratio_curve",
     "fit_power_law",
     "format_mean_ci",

@@ -1,0 +1,179 @@
+"""Perf smoke harness: wall-clock comparison of the simulation engines.
+
+Times every engine in :data:`repro.core.simulator.ENGINES` on two fixed
+workloads — the Figure 2 Simple-Global-Line sweep (the convergence-time
+experiments' hot path) and the Figure 1 Global-Star run — and emits a
+machine-readable record (``BENCH_engines.json``) so future PRs can track
+the perf trajectory.  Used by ``benchmarks/perf_smoke.py`` (which asserts
+the indexed engine's speedup) and by ``python -m repro.cli bench``.
+
+The sequential engine walks every scheduler step, so it only appears on
+the star workload with a finite step budget; the two event-driven engines
+run the full line sweep to convergence.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable
+
+from repro.core.protocol import Protocol
+from repro.core.simulator import ENGINES, make_engine
+from repro.protocols import GlobalStar, SimpleGlobalLine
+
+#: Figure 2 line-protocol sweep sizes.  The seed repo's largest Figure 2
+#: population was n=30; the indexed engine extends the sweep upward
+#: (n=480 converges in under a second indexed vs ~15 s agitated).
+LINE_SIZES: tuple[int, ...] = (30, 60, 120, 240, 480)
+
+#: Global-Star size for the three-engine comparison (matches the
+#: engine-ablation benchmark).
+STAR_N = 40
+
+#: Step budget for the sequential engine on the star workload.
+STAR_SEQUENTIAL_BUDGET = 10_000_000
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One (workload, engine, n) timing measurement."""
+
+    workload: str
+    protocol: str
+    engine: str
+    n: int
+    trials: int
+    mean_seconds: float
+    mean_steps: float
+    mean_effective: float
+    converged: bool
+
+
+def _time_engine(
+    workload: str,
+    protocol_factory: Callable[[], Protocol],
+    engine: str,
+    n: int,
+    trials: int,
+    *,
+    base_seed: int = 0,
+    max_steps: int | None = None,
+) -> BenchCell:
+    seconds: list[float] = []
+    steps: list[int] = []
+    eff: list[int] = []
+    converged = True
+    name = ""
+    for trial in range(trials):
+        protocol = protocol_factory()
+        name = protocol.name
+        sim = make_engine(engine, seed=base_seed + trial)
+        start = time.perf_counter()
+        result = sim.run(protocol, n, max_steps)
+        seconds.append(time.perf_counter() - start)
+        steps.append(result.steps)
+        eff.append(result.effective_steps)
+        converged = converged and result.converged
+    return BenchCell(
+        workload=workload,
+        protocol=name,
+        engine=engine,
+        n=n,
+        trials=trials,
+        mean_seconds=statistics.fmean(seconds),
+        mean_steps=statistics.fmean(steps),
+        mean_effective=statistics.fmean(eff),
+        converged=converged,
+    )
+
+
+def bench_engines(
+    *,
+    line_sizes: tuple[int, ...] = LINE_SIZES,
+    star_n: int = STAR_N,
+    trials: int = 2,
+    base_seed: int = 0,
+    out: str | None = None,
+) -> dict:
+    """Run the full engine benchmark and return (optionally write) the
+    record.
+
+    The headline number is ``speedup_indexed_vs_agitated`` — the
+    wall-clock ratio on the Figure 2 line workload at the largest swept
+    size.
+    """
+    cells: list[BenchCell] = []
+    # Engines are enumerated from the registry so a newly added engine is
+    # benchmarked by construction; the sequential engine walks every step
+    # and only joins the (budgeted) star workload.
+    event_driven = [name for name in ENGINES if name != "sequential"]
+    for n in line_sizes:
+        for engine in event_driven:
+            cells.append(
+                _time_engine(
+                    "figure2-line", SimpleGlobalLine, engine, n, trials,
+                    base_seed=base_seed,
+                )
+            )
+    for engine in ENGINES:
+        budget = STAR_SEQUENTIAL_BUDGET if engine == "sequential" else None
+        cells.append(
+            _time_engine(
+                "figure1-star", GlobalStar, engine, star_n, trials,
+                base_seed=base_seed, max_steps=budget,
+            )
+        )
+
+    largest = max(line_sizes)
+    by_engine = {
+        cell.engine: cell
+        for cell in cells
+        if cell.workload == "figure2-line" and cell.n == largest
+    }
+    speedup = (
+        by_engine["agitated"].mean_seconds / by_engine["indexed"].mean_seconds
+    )
+    record = {
+        "schema": "repro-bench/1",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "trials": trials,
+        "line_sizes": list(line_sizes),
+        "star_n": star_n,
+        "cells": [asdict(cell) for cell in cells],
+        "speedup_indexed_vs_agitated": {
+            "workload": "figure2-line",
+            "n": largest,
+            "speedup": speedup,
+        },
+    }
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    return record
+
+
+def format_bench(record: dict) -> str:
+    """Human-readable table of a :func:`bench_engines` record."""
+    lines = [
+        f"{'workload':<14} {'engine':<11} {'n':>5} {'mean s':>9} "
+        f"{'steps':>14} {'effective':>11}"
+    ]
+    for cell in record["cells"]:
+        lines.append(
+            f"{cell['workload']:<14} {cell['engine']:<11} {cell['n']:>5} "
+            f"{cell['mean_seconds']:>9.3f} {cell['mean_steps']:>14.0f} "
+            f"{cell['mean_effective']:>11.0f}"
+        )
+    headline = record["speedup_indexed_vs_agitated"]
+    lines.append(
+        f"\nindexed vs agitated @ {headline['workload']} "
+        f"n={headline['n']}: {headline['speedup']:.1f}x"
+    )
+    return "\n".join(lines)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.core.protocol import Protocol
-from repro.core.simulator import AgitatedSimulator, RunResult
+from repro.core.simulator import RunResult, make_engine
 
 #: How to read "the time" off a run result.
 MEASURES: dict[str, Callable[[RunResult], int]] = {
@@ -63,17 +63,21 @@ def run_trials(
     measure: str = "output",
     max_steps: int | None = None,
     check_interval: int = 1,
+    engine: str = "indexed",
 ) -> list[int]:
     """Convergence times of ``trials`` independent runs at size ``n``.
 
     Seeds are ``base_seed + trial`` for reproducibility; a fresh protocol
     instance is built per trial so stateful protocols stay isolated.
+    ``engine`` selects a :data:`repro.core.simulator.ENGINES` entry; all
+    engines sample the same convergence-time distribution under the
+    uniform random scheduler.
     """
     read = MEASURES[measure]
     times: list[int] = []
     for trial in range(trials):
         protocol = protocol_factory()
-        sim = AgitatedSimulator(seed=base_seed + trial)
+        sim = make_engine(engine, seed=base_seed + trial)
         result = sim.run(
             protocol,
             n,
@@ -106,6 +110,7 @@ def measure_convergence(
     measure: str = "output",
     max_steps: int | None = None,
     check_interval: int = 1,
+    engine: str = "indexed",
 ) -> dict[int, Summary]:
     """Sweep population sizes and summarize convergence times."""
     sweep: dict[int, Summary] = {}
@@ -118,6 +123,7 @@ def measure_convergence(
             measure=measure,
             max_steps=max_steps,
             check_interval=check_interval,
+            engine=engine,
         )
         sweep[n] = summarize(n, times)
     return sweep

@@ -11,6 +11,10 @@ Sweep sizes and fit the growth order::
 
     repro-net sweep cycle-cover --sizes 20,40,80 --trials 10
 
+Time the simulation engines against each other::
+
+    repro-net bench --out BENCH_engines.json
+
 List everything available::
 
     repro-net list
@@ -22,7 +26,9 @@ import argparse
 import sys
 
 from repro.analysis import fit_power_law, measure_convergence
-from repro.core.simulator import run_to_convergence
+from repro.analysis.bench import LINE_SIZES, bench_engines, format_bench
+from repro.core.errors import ReproError
+from repro.core.simulator import ENGINES, run_to_convergence
 from repro.protocols import (
     CCliques,
     CycleCover,
@@ -68,7 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("-n", type=int, default=20, help="population size")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument(
-        "--max-steps", type=int, default=None, help="step budget (default: none)"
+        "--max-steps", type=int, default=None,
+        help="step budget (default: none; required by --engine sequential)",
+    )
+    run_p.add_argument(
+        "--engine", choices=sorted(ENGINES), default="indexed",
+        help="simulation engine (default: indexed)",
     )
 
     sweep_p = sub.add_parser("sweep", help="measure convergence across sizes")
@@ -78,6 +89,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument("--trials", type=int, default=10)
     sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument(
+        "--engine", choices=sorted(ENGINES), default="indexed",
+        help="simulation engine (default: indexed)",
+    )
+    sweep_p.add_argument(
+        "--max-steps", type=int, default=None,
+        help="per-run step budget (required by --engine sequential)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench", help="time all simulation engines on fixed workloads"
+    )
+    bench_p.add_argument(
+        "--line-sizes",
+        default=",".join(map(str, LINE_SIZES)),
+        help="comma-separated Figure 2 line sweep sizes",
+    )
+    bench_p.add_argument("--trials", type=int, default=2)
+    bench_p.add_argument("--seed", type=int, default=0)
+    bench_p.add_argument(
+        "--out", default="BENCH_engines.json",
+        help="output JSON path ('-' to skip writing)",
+    )
 
     sub.add_parser("list", help="list available protocols")
     return parser
@@ -86,7 +120,8 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args: argparse.Namespace) -> int:
     protocol = PROTOCOLS[args.protocol]()
     result = run_to_convergence(
-        protocol, args.n, seed=args.seed, max_steps=args.max_steps
+        protocol, args.n, seed=args.seed, max_steps=args.max_steps,
+        engine=args.engine,
     )
     print(f"protocol      : {protocol.name}")
     print(f"population    : {args.n}")
@@ -105,7 +140,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     factory = PROTOCOLS[args.protocol]
     sizes = [int(s) for s in args.sizes.split(",")]
     sweep = measure_convergence(
-        factory, sizes, args.trials, base_seed=args.seed
+        factory, sizes, args.trials, base_seed=args.seed, engine=args.engine,
+        max_steps=args.max_steps,
     )
     print(f"{'n':>6} {'mean':>12} {'±95%':>10} {'min':>10} {'max':>10}")
     for n, summary in sweep.items():
@@ -119,16 +155,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    line_sizes = tuple(int(s) for s in args.line_sizes.split(","))
+    out = None if args.out == "-" else args.out
+    record = bench_engines(
+        line_sizes=line_sizes, trials=args.trials, base_seed=args.seed,
+        out=out,
+    )
+    print(format_bench(record))
+    if out is not None:
+        print(f"\nwrote {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if (
+        getattr(args, "engine", None) == "sequential"
+        and getattr(args, "max_steps", None) is None
+    ):
+        parser.error("--engine sequential requires a finite --max-steps budget")
     if args.command == "list":
         for name in sorted(PROTOCOLS):
             print(name)
         return 0
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+    except ReproError as exc:
+        # Expected model/simulation failures (budget exhausted, bad
+        # configuration...) get a clean one-liner, not a traceback.
+        print(f"repro-net: error: {exc}", file=sys.stderr)
+        return 1
     return 1  # pragma: no cover - argparse enforces choices
 
 

@@ -13,7 +13,9 @@ from repro.core.errors import (
     ReproError,
     SimulationError,
 )
+from repro.core.indexing import IndexedSet, PairClassIndex
 from repro.core.protocol import (
+    CompiledProtocol,
     Distribution,
     Outcome,
     Protocol,
@@ -43,10 +45,13 @@ from repro.core.scheduler import (
     UniformRandomScheduler,
 )
 from repro.core.simulator import (
+    ENGINES,
     AgitatedSimulator,
+    IndexedSimulator,
     RunResult,
     SequentialSimulator,
     apply_interaction,
+    make_engine,
     run_to_convergence,
 )
 from repro.core.trace import Event, Trace
@@ -54,13 +59,18 @@ from repro.core.trace import Event, Trace
 __all__ = [
     "AdversarialLaggardScheduler",
     "AgitatedSimulator",
+    "CompiledProtocol",
     "Configuration",
     "ConvergenceError",
     "Distribution",
+    "ENGINES",
     "EncodingError",
     "Event",
+    "IndexedSet",
+    "IndexedSimulator",
     "MachineError",
     "Outcome",
+    "PairClassIndex",
     "Protocol",
     "ProtocolError",
     "ReproError",
@@ -76,6 +86,7 @@ __all__ = [
     "Trace",
     "UniformRandomScheduler",
     "apply_interaction",
+    "make_engine",
     "coin_flip",
     "configuration_from_dict",
     "configuration_to_dict",

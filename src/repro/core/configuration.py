@@ -14,11 +14,26 @@ from typing import Iterable, Iterator
 import networkx as nx
 
 from repro.core.errors import SimulationError
+from repro.core.indexing import IndexedSet
 from repro.core.protocol import State
 
 
 class Configuration:
     """Mutable system configuration: node states plus the active-edge set.
+
+    A nodes-by-state index is maintained incrementally, so
+    :meth:`state_counts` / :meth:`nodes_in_state` /
+    :meth:`count_in_state` cost O(distinct states) / O(nodes in the
+    state) / O(1) rather than a full rescan — which makes the
+    ``stabilized`` certificates that poll state counts every effective
+    step cheap.  (:class:`~repro.core.simulator.IndexedSimulator` keeps
+    its own buckets keyed by *interned* state ids for its sampling hot
+    path; :meth:`nodes_by_state` exposes this raw-state index for other
+    callers needing O(1) uniform draws.)
+
+    Configurations are mutable and therefore **unhashable** (``__hash__``
+    is explicitly ``None``); use :meth:`signature` to obtain an immutable
+    snapshot usable as a dict key or set member.
 
     Parameters
     ----------
@@ -28,7 +43,7 @@ class Configuration:
         Iterable of node pairs that are initially active.
     """
 
-    __slots__ = ("_states", "_adj", "_n_active")
+    __slots__ = ("_states", "_adj", "_n_active", "_by_state")
 
     def __init__(
         self,
@@ -39,6 +54,12 @@ class Configuration:
         n = len(self._states)
         self._adj: list[set[int]] = [set() for _ in range(n)]
         self._n_active = 0
+        self._by_state: dict[State, IndexedSet] = {}
+        for u, s in enumerate(self._states):
+            bucket = self._by_state.get(s)
+            if bucket is None:
+                bucket = self._by_state[s] = IndexedSet()
+            bucket.add(u)
         for u, v in active_edges:
             self.set_edge(u, v, 1)
 
@@ -58,6 +79,7 @@ class Configuration:
         clone._states = list(self._states)
         clone._adj = [set(s) for s in self._adj]
         clone._n_active = self._n_active
+        clone._by_state = {s: b.copy() for s, b in self._by_state.items()}
         return clone
 
     # ------------------------------------------------------------------
@@ -72,6 +94,17 @@ class Configuration:
         return self._states[u]
 
     def set_state(self, u: int, state: State) -> None:
+        old = self._states[u]
+        if old == state:
+            return
+        bucket = self._by_state[old]
+        bucket.discard(u)
+        if not bucket:
+            del self._by_state[old]
+        bucket = self._by_state.get(state)
+        if bucket is None:
+            bucket = self._by_state[state] = IndexedSet()
+        bucket.add(u)
         self._states[u] = state
 
     def states(self) -> list[State]:
@@ -79,14 +112,24 @@ class Configuration:
         return list(self._states)
 
     def state_counts(self) -> dict[State, int]:
-        """Multiset of node states (histogram)."""
-        counts: dict[State, int] = {}
-        for s in self._states:
-            counts[s] = counts.get(s, 0) + 1
-        return counts
+        """Multiset of node states (histogram) — O(distinct states)."""
+        return {s: len(bucket) for s, bucket in self._by_state.items()}
+
+    def count_in_state(self, state: State) -> int:
+        """Number of nodes currently in ``state`` — O(1)."""
+        bucket = self._by_state.get(state)
+        return len(bucket) if bucket is not None else 0
 
     def nodes_in_state(self, state: State) -> list[int]:
-        return [u for u, s in enumerate(self._states) if s == state]
+        """Nodes currently in ``state``, ascending — O(k log k)."""
+        bucket = self._by_state.get(state)
+        return sorted(bucket) if bucket is not None else []
+
+    def nodes_by_state(self, state: State) -> IndexedSet | None:
+        """Live :class:`~repro.core.indexing.IndexedSet` of the nodes in
+        ``state`` (``None`` when empty) — read-only view for the engines;
+        do not mutate."""
+        return self._by_state.get(state)
 
     def nodes_where(self, predicate) -> list[int]:
         """Nodes whose state satisfies ``predicate``."""
@@ -180,6 +223,11 @@ class Configuration:
         if not isinstance(other, Configuration):
             return NotImplemented
         return self.signature() == other.signature()
+
+    # Mutable by design: value-hashing a configuration that later mutates
+    # would corrupt any hash container holding it.  Hash the immutable
+    # signature() snapshot instead.
+    __hash__ = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,258 @@
+"""Incremental indexes for event-driven simulation.
+
+Two data structures back the :class:`~repro.core.simulator.IndexedSimulator`
+and the incremental bookkeeping on :class:`~repro.core.configuration.Configuration`:
+
+* :class:`IndexedSet` — a set with O(1) add / discard / membership *and*
+  O(1) uniform random sampling (list + position dict with swap-remove).
+* :class:`PairClassIndex` — a census of the candidate interaction pairs of
+  a population, grouped into *state classes* ``(a, b, c)``: the unordered
+  pair of node states plus the edge status between them.  Effectiveness of
+  an interaction depends only on its class, so the set of effective pairs
+  can be tracked as a handful of per-class counts instead of per-pair
+  entries:
+
+  - pairs over an **active** edge are indexed explicitly per class (there
+    are at most ``n - 1`` active edges in the sparse constructions of the
+    paper, and never more than the edges actually present);
+  - pairs over a **non-edge** are counted *combinatorially* from the
+    per-state node counts minus the active-edge count of the class —
+    no per-pair storage at all.
+
+  Sampling a uniformly random effective pair is then: draw a class with
+  probability proportional to its pair count, then a uniform pair within
+  the class (directly for edge classes, by rejection against the active
+  adjacency for non-edge classes).  Maintenance after an interaction is
+  O(present states) + O(degree of the changed nodes) instead of the O(n)
+  per-node rescans of :class:`~repro.core.simulator.AgitatedSimulator`.
+
+States here are the dense integer ids produced by
+:meth:`repro.core.protocol.Protocol.compile`; the index never looks at raw
+state values.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, Iterator
+
+
+class IndexedSet:
+    """A set with O(1) add/discard/contains and O(1) uniform sampling."""
+
+    __slots__ = ("_items", "_index")
+
+    def __init__(self) -> None:
+        self._items: list[Hashable] = []
+        self._index: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._index
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._items)
+
+    def add(self, item: Hashable) -> None:
+        if item not in self._index:
+            self._index[item] = len(self._items)
+            self._items.append(item)
+
+    def discard(self, item: Hashable) -> None:
+        idx = self._index.pop(item, None)
+        if idx is None:
+            return
+        last = self._items.pop()
+        if idx < len(self._items):
+            self._items[idx] = last
+            self._index[last] = idx
+
+    def sample(self, rng: random.Random):
+        """A uniformly random element (the set must be non-empty)."""
+        return self._items[rng.randrange(len(self._items))]
+
+    def copy(self) -> "IndexedSet":
+        clone = IndexedSet.__new__(IndexedSet)
+        clone._items = list(self._items)
+        clone._index = dict(self._index)
+        return clone
+
+
+#: Effectiveness oracle over interned state-id triples ``(a, b, c)``.
+EffectivenessOracle = Callable[[int, int, int], bool]
+
+#: How many rejection attempts to make when sampling a non-edge pair
+#: before falling back to explicit enumeration.  Per-attempt success
+#: probability is (non-edge pairs)/(all pairs) of the class; whenever it
+#: is >= 1/2 the fallback's probability is 2^-64.  A class that is
+#: mostly active edges (a near-complete same-state cluster) can push the
+#: success probability low and make the O(class size^2) enumeration the
+#: common path for that class — correct but slow; the paper's sparse
+#: constructions (<= n-1 active edges) never approach that regime.
+_REJECTION_CAP = 64
+
+
+class PairClassIndex:
+    """Candidate-pair census grouped by state class ``(a, b, c)``.
+
+    Parameters
+    ----------
+    is_effective:
+        Memoized oracle ``(a_id, b_id, c) -> bool``; only effective
+        classes contribute weight (their pair count) to :attr:`total`.
+    """
+
+    __slots__ = ("_eff", "nodes", "edges", "weights", "total")
+
+    def __init__(self, is_effective: EffectivenessOracle) -> None:
+        self._eff = is_effective
+        #: state id -> IndexedSet of node ids (present states only)
+        self.nodes: dict[int, IndexedSet] = {}
+        #: (lo, hi) state-id pair -> IndexedSet of active edges (u, v), u < v
+        self.edges: dict[tuple[int, int], IndexedSet] = {}
+        #: (lo, hi, c) -> number of candidate pairs, effective classes only
+        self.weights: dict[tuple[int, int, int], int] = {}
+        #: total number of effective pairs
+        self.total = 0
+
+    # ------------------------------------------------------------------
+    # Structural updates (no weight maintenance; call refresh_* after)
+    # ------------------------------------------------------------------
+    def add_node(self, u: int, state: int) -> None:
+        bucket = self.nodes.get(state)
+        if bucket is None:
+            bucket = self.nodes[state] = IndexedSet()
+        bucket.add(u)
+
+    def move_node(self, u: int, old: int, new: int) -> None:
+        bucket = self.nodes[old]
+        bucket.discard(u)
+        if not bucket:
+            del self.nodes[old]
+        self.add_node(u, new)
+
+    def add_edge(self, u: int, v: int, su: int, sv: int) -> None:
+        key = (su, sv) if su <= sv else (sv, su)
+        bucket = self.edges.get(key)
+        if bucket is None:
+            bucket = self.edges[key] = IndexedSet()
+        bucket.add((u, v) if u < v else (v, u))
+
+    def remove_edge(self, u: int, v: int, su: int, sv: int) -> None:
+        key = (su, sv) if su <= sv else (sv, su)
+        bucket = self.edges.get(key)
+        if bucket is None:
+            return
+        bucket.discard((u, v) if u < v else (v, u))
+        if not bucket:
+            del self.edges[key]
+
+    def move_edge(self, u: int, v: int, old_su: int, sv: int, new_su: int) -> None:
+        """Re-file the active edge ``(u, v)`` after ``u`` moved state."""
+        self.remove_edge(u, v, old_su, sv)
+        self.add_edge(u, v, new_su, sv)
+
+    # ------------------------------------------------------------------
+    # Weight maintenance
+    # ------------------------------------------------------------------
+    def _class_counts(self, lo: int, hi: int) -> tuple[int, int]:
+        """(non-edge pairs, active-edge pairs) of the class ``{lo, hi}``."""
+        a = self.nodes.get(lo)
+        na = len(a) if a is not None else 0
+        if lo == hi:
+            pairs = na * (na - 1) // 2
+        else:
+            b = self.nodes.get(hi)
+            pairs = na * (len(b) if b is not None else 0)
+        bucket = self.edges.get((lo, hi))
+        n_edges = len(bucket) if bucket is not None else 0
+        return pairs - n_edges, n_edges
+
+    def refresh_pair(self, a: int, b: int) -> None:
+        """Recompute the weights of both classes over the state pair."""
+        lo, hi = (a, b) if a <= b else (b, a)
+        non_edges, n_edges = self._class_counts(lo, hi)
+        for c, weight in ((0, non_edges), (1, n_edges)):
+            if not self._eff(lo, hi, c):
+                continue
+            key = (lo, hi, c)
+            old = self.weights.pop(key, 0)
+            if weight:
+                self.weights[key] = weight
+            self.total += weight - old
+
+    def refresh_involving(self, states: set[int]) -> None:
+        """Recompute every class that involves one of ``states``.
+
+        Called after node state changes: only classes touching an old or
+        new state of a changed node can have gained or lost pairs."""
+        targets = set(self.nodes)
+        targets.update(states)
+        seen: set[tuple[int, int]] = set()
+        for x in states:
+            for t in targets:
+                key = (x, t) if x <= t else (t, x)
+                if key in seen:
+                    continue
+                seen.add(key)
+                self.refresh_pair(key[0], key[1])
+
+    def rebuild(self) -> None:
+        """Recompute all weights from scratch (initialization)."""
+        self.weights.clear()
+        self.total = 0
+        present = list(self.nodes)
+        for i, a in enumerate(present):
+            for b in present[i:]:
+                self.refresh_pair(a, b)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_class(self, rng: random.Random) -> tuple[int, int, int]:
+        """Draw a class with probability proportional to its pair count."""
+        r = rng.randrange(self.total)
+        for key, weight in self.weights.items():
+            r -= weight
+            if r < 0:
+                return key
+        raise AssertionError("PairClassIndex weights out of sync with total")
+
+    def sample_pair(
+        self,
+        key: tuple[int, int, int],
+        rng: random.Random,
+        edge_state: Callable[[int, int], int],
+    ) -> tuple[int, int]:
+        """A uniform pair within class ``key``; the first node returned is
+        in state ``key[0]``, the second in ``key[1]`` (for edge classes the
+        orientation is by node id — callers resolve rules by state)."""
+        lo, hi, c = key
+        if c == 1:
+            return self.edges[(lo, hi)].sample(rng)
+        a = self.nodes[lo]
+        b = self.nodes[hi]
+        for _ in range(_REJECTION_CAP):
+            u = a.sample(rng)
+            v = b.sample(rng)
+            if u == v:
+                continue
+            if not edge_state(u, v):
+                return (u, v)
+        # Dense class: most candidate pairs are active edges.  Enumerate
+        # the non-edges explicitly; this path is cold by construction.
+        if lo == hi:
+            members = list(a)
+            candidates = [
+                (u, v)
+                for i, u in enumerate(members)
+                for v in members[i + 1 :]
+                if not edge_state(u, v)
+            ]
+        else:
+            candidates = [
+                (u, v) for u in a for v in b if not edge_state(u, v)
+            ]
+        return candidates[rng.randrange(len(candidates))]

@@ -185,6 +185,14 @@ class Protocol:
 
         return Configuration.uniform(n, self.initial_state)
 
+    def compile(self) -> "CompiledProtocol":
+        """An interned-state view of this protocol for the hot loop of
+        :class:`~repro.core.simulator.IndexedSimulator`: states become
+        dense ints and ``resolve``/effectiveness results are memoized per
+        triple, so table *and* code-defined ``delta`` protocols both pay
+        at most one resolution per distinct ``(a, b, c)``."""
+        return CompiledProtocol(self)
+
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
@@ -264,6 +272,102 @@ class TableProtocol(Protocol):
     def rules(self) -> dict[tuple[State, State, EdgeState], Distribution]:
         """A copy of the rule table (effective rules only)."""
         return dict(self._table)
+
+
+#: A compiled distribution: ``(probability, (a_id, b_id, edge))`` tuples.
+CompiledDistribution = tuple[tuple[float, tuple[int, int, int]], ...]
+
+
+class CompiledProtocol:
+    """Interned, memoized transition table over a :class:`Protocol`.
+
+    States are interned to dense ints (``intern`` / ``state_of``); the
+    partial-function resolution of :func:`resolve` and the effectiveness
+    predicate are flattened into dicts keyed by int triples.  For
+    protocols with an enumerable state set the interning is eager and
+    deterministic (sorted by ``repr``, so seeded runs reproduce across
+    processes despite hash randomization); structured-state protocols
+    (``generic/``, ``tm/``) intern lazily in encounter order and memoize
+    each ``delta`` resolution the first time a triple is seen — the
+    transparent fallback for code-defined transition functions.
+    """
+
+    __slots__ = ("protocol", "_ids", "_states", "_resolved", "_effective")
+
+    def __init__(self, protocol: Protocol) -> None:
+        self.protocol = protocol
+        self._ids: dict[State, int] = {}
+        self._states: list[State] = []
+        self._resolved: dict[
+            tuple[int, int, int], tuple[CompiledDistribution, bool] | None
+        ] = {}
+        self._effective: dict[tuple[int, int, int], bool] = {}
+        if protocol.states is not None:
+            for state in sorted(protocol.states, key=repr):
+                self.intern(state)
+
+    @property
+    def n_states(self) -> int:
+        """Number of distinct states interned so far."""
+        return len(self._states)
+
+    def intern(self, state: State) -> int:
+        """The dense id of ``state``, assigning a fresh one if new."""
+        i = self._ids.get(state)
+        if i is None:
+            i = len(self._states)
+            self._ids[state] = i
+            self._states.append(state)
+        return i
+
+    def state_of(self, i: int) -> State:
+        """The raw state behind id ``i``."""
+        return self._states[i]
+
+    def resolved(
+        self, a: int, b: int, c: EdgeState
+    ) -> tuple[CompiledDistribution, bool] | None:
+        """Memoized :func:`resolve` over interned ids.
+
+        Returns ``(distribution, swapped)`` with outcome states interned,
+        or ``None`` for an ineffective identity triple."""
+        key = (a, b, c)
+        try:
+            return self._resolved[key]
+        except KeyError:
+            pass
+        raw = resolve(self.protocol, self._states[a], self._states[b], c)
+        if raw is None:
+            compiled = None
+        else:
+            dist, swapped = raw
+            compiled = (
+                tuple(
+                    (p, (self.intern(out.a), self.intern(out.b), out.edge))
+                    for p, out in dist
+                ),
+                swapped,
+            )
+        self._resolved[key] = compiled
+        return compiled
+
+    def is_effective(self, a: int, b: int, c: EdgeState) -> bool:
+        """Memoized effectiveness over interned ids (symmetric in a, b)."""
+        key = (a, b, c)
+        try:
+            return self._effective[key]
+        except KeyError:
+            pass
+        res = self.resolved(a, b, c)
+        if res is None:
+            effective = False
+        else:
+            dist, swapped = res
+            identity = (b, a, c) if swapped else (a, b, c)
+            effective = any(out != identity for _, out in dist)
+        self._effective[key] = effective
+        self._effective[(b, a, c)] = effective
+        return effective
 
 
 def resolve(

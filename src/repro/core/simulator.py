@@ -1,20 +1,39 @@
 """Simulation engines for network constructors.
 
-Two engines share identical interaction semantics:
+Three engines share identical interaction semantics; under the uniform
+random scheduler all three sample the **same distribution** over
+executions (verified by the distributional-equivalence tests), so the
+choice is purely a performance/flexibility trade-off.
 
+Engine-selection guide
+----------------------
 * :class:`SequentialSimulator` — the reference implementation: one
-  scheduler pick per step, any :class:`~repro.core.scheduler.Scheduler`.
-* :class:`AgitatedSimulator` — the production engine for the uniform
-  random scheduler.  It maintains the set of *effective* pairs (pairs whose
-  current ``(a, b, c)`` triple has an effective rule) and advances the step
-  counter by a geometrically-distributed number of ineffective steps before
-  each effective interaction.  Because ineffective interactions change
-  nothing, the resulting process is **distributionally identical** to the
-  sequential engine under the uniform random scheduler while doing work
-  proportional only to the number of effective interactions.
+  scheduler pick per step, **any** :class:`~repro.core.scheduler.Scheduler`
+  (round-robin, scripted, adversarial...).  O(1) per scheduler step but
+  walks every ineffective step; use it when you need a non-uniform
+  scheduler or a ground-truth check.
+* :class:`AgitatedSimulator` — event-driven engine for the uniform random
+  scheduler.  Maintains the set of *effective* pairs explicitly and skips
+  ineffective steps with a geometric draw, but rescans all ``n - 1``
+  partners of a node whenever its state changes: O(n) per effective
+  interaction.  Kept as the independently-coded cross-check for the
+  indexed engine.
+* :class:`IndexedSimulator` — the default production engine (used by
+  :func:`run_to_convergence`).  Replaces per-pair bookkeeping with a
+  class-level census (:class:`~repro.core.indexing.PairClassIndex`):
+  candidate pairs are grouped by their state-class triple ``(a, b, c)``,
+  non-edge pairs are counted combinatorially from per-state node counts,
+  active edges are indexed per class, and an effective interaction is
+  sampled by drawing a class proportional to its pair count and then a
+  uniform pair within it.  Together with the interned/memoized rule table
+  of :meth:`~repro.core.protocol.Protocol.compile`, maintenance is
+  O(present states + degree) per effective interaction — O(1) amortized
+  for the paper's constant-state protocols — instead of O(n).
 
-Both engines measure the paper's convergence time: the last step at which
-the output graph changed (``RunResult.convergence_time``).
+Use the :data:`ENGINES` registry (``"sequential"``, ``"agitated"``,
+``"indexed"``) to select an engine by name in CLIs and experiment
+runners.  All engines measure the paper's convergence time: the last step
+at which the output graph changed (``RunResult.convergence_time``).
 """
 
 from __future__ import annotations
@@ -26,6 +45,7 @@ from typing import Callable
 
 from repro.core.configuration import Configuration
 from repro.core.errors import ConvergenceError, SimulationError
+from repro.core.indexing import IndexedSet, PairClassIndex
 from repro.core.protocol import Protocol, resolve, sample_outcome
 from repro.core.scheduler import Scheduler, UniformRandomScheduler
 from repro.core.trace import Event, Trace
@@ -198,6 +218,11 @@ class SequentialSimulator:
         ``copy_config=False`` evolves the caller's configuration in place
         (used when running several protocol phases over one population).
         """
+        if max_steps is None:
+            raise SimulationError(
+                "the sequential engine walks every step and needs a finite "
+                "max_steps budget"
+            )
         rng = random.Random(self.seed)
         if config is None:
             cfg = protocol.initial_configuration(n)
@@ -247,37 +272,9 @@ class SequentialSimulator:
         )
 
 
-class _EffectiveSet:
-    """Indexable set of pairs with O(1) add/remove/uniform-sample."""
-
-    __slots__ = ("_items", "_index")
-
-    def __init__(self) -> None:
-        self._items: list[tuple[int, int]] = []
-        self._index: dict[tuple[int, int], int] = {}
-
-    def __len__(self) -> int:
-        return len(self._items)
-
-    def __contains__(self, pair: tuple[int, int]) -> bool:
-        return pair in self._index
-
-    def add(self, pair: tuple[int, int]) -> None:
-        if pair not in self._index:
-            self._index[pair] = len(self._items)
-            self._items.append(pair)
-
-    def discard(self, pair: tuple[int, int]) -> None:
-        idx = self._index.pop(pair, None)
-        if idx is None:
-            return
-        last = self._items.pop()
-        if idx < len(self._items):
-            self._items[idx] = last
-            self._index[last] = idx
-
-    def sample(self, rng: random.Random) -> tuple[int, int]:
-        return self._items[rng.randrange(len(self._items))]
+#: Backwards-compatible alias: the indexable pair set now lives in
+#: :mod:`repro.core.indexing`.
+_EffectiveSet = IndexedSet
 
 
 class AgitatedSimulator:
@@ -412,6 +409,206 @@ class AgitatedSimulator:
         )
 
 
+class IndexedSimulator:
+    """State-indexed event-driven engine for the uniform random scheduler.
+
+    Distributionally identical to :class:`SequentialSimulator` /
+    :class:`AgitatedSimulator` under the uniform random scheduler: the
+    step counter advances by the same ``Geometric(k/m) - 1`` skip, and the
+    two-stage class-then-pair draw is exactly a uniform draw over the
+    effective pairs.  The difference is the bookkeeping: instead of
+    rescanning a changed node's ``n - 1`` partners, only the O(present
+    states) class weights touching the changed states are recomputed and
+    the changed node's O(degree) incident active edges re-filed.
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.seed = seed
+
+    def run(
+        self,
+        protocol: Protocol,
+        n: int,
+        max_steps: int | None = None,
+        *,
+        config: Configuration | None = None,
+        stop: StopPredicate | None = None,
+        trace: Trace | None = None,
+        check_interval: int = 1,
+        require_convergence: bool = False,
+        max_effective_steps: int | None = None,
+        copy_config: bool = True,
+    ) -> RunResult:
+        rng = random.Random(self.seed)
+        if config is None:
+            cfg = protocol.initial_configuration(n)
+        else:
+            cfg = config.copy() if copy_config else config
+        if cfg.n != n:
+            raise SimulationError(f"configuration has {cfg.n} nodes, expected {n}")
+        if n < 2:
+            raise SimulationError("need at least 2 nodes")
+        stabilized = stop if stop is not None else protocol.stabilized
+        m = n * (n - 1) // 2
+        compiled = protocol.compile()
+        intern = compiled.intern
+        state_of = compiled.state_of
+        sid = [intern(cfg.state(u)) for u in range(n)]
+        adj = cfg._adj  # engine-internal: avoids a frozenset copy per move
+
+        index = PairClassIndex(compiled.is_effective)
+        for u in range(n):
+            index.add_node(u, sid[u])
+        for u, v in cfg.active_edges():
+            index.add_edge(u, v, sid[u], sid[v])
+        index.rebuild()
+
+        def move_node(w: int, old: int, new: int) -> None:
+            cfg.set_state(w, state_of(new))
+            for x in adj[w]:
+                index.move_edge(w, x, old, sid[x], new)
+            index.move_node(w, old, new)
+            sid[w] = new
+
+        steps = 0
+        effective = 0
+        last_change = 0
+        last_output_change = 0
+        since_check = 0
+        log = math.log
+        edge_state = cfg.edge_state
+
+        if stabilized(cfg):
+            return RunResult(True, 0, 0, 0, 0, cfg, "stabilized", trace)
+
+        while True:
+            k = index.total
+            if k == 0:
+                return RunResult(
+                    True, steps, effective, last_change, last_output_change,
+                    cfg, "quiescent", trace,
+                )
+            if max_effective_steps is not None and effective >= max_effective_steps:
+                break
+            if k == m:
+                skip = 0
+            else:
+                # Number of failed (ineffective) picks before a success.
+                p = k / m
+                skip = int(log(1.0 - rng.random()) / log(1.0 - p))
+            if max_steps is not None and steps + skip + 1 > max_steps:
+                steps = max_steps
+                break
+            steps += skip + 1
+
+            key = index.sample_class(rng)
+            u, v = index.sample_pair(key, rng, edge_state)
+            su, sv = sid[u], sid[v]
+            c = key[2]
+            dist, swapped = compiled.resolved(su, sv, c)
+            if len(dist) == 1:
+                outcome = dist[0][1]
+            else:
+                roll = rng.random()
+                acc = 0.0
+                outcome = dist[-1][1]
+                for prob, candidate in dist:
+                    acc += prob
+                    if roll < acc:
+                        outcome = candidate
+                        break
+            if swapped:
+                new_u, new_v = outcome[1], outcome[0]
+            else:
+                new_u, new_v = outcome[0], outcome[1]
+            if su == sv and new_u != new_v and rng.random() < 0.5:
+                new_u, new_v = new_v, new_u
+            new_edge = outcome[2]
+            u_changed = new_u != su
+            v_changed = new_v != sv
+            edge_changed = new_edge != c
+            if not (u_changed or v_changed or edge_changed):
+                # An effective class may sample an identity outcome in a
+                # probabilistic rule; the step still elapsed.
+                continue
+
+            if u_changed:
+                move_node(u, su, new_u)
+            if v_changed:
+                move_node(v, sv, new_v)
+            if edge_changed:
+                cfg.set_edge(u, v, new_edge)
+                if new_edge:
+                    index.add_edge(u, v, sid[u], sid[v])
+                else:
+                    index.remove_edge(u, v, sid[u], sid[v])
+            if u_changed or v_changed:
+                dirty = set()
+                if u_changed:
+                    dirty.add(su)
+                    dirty.add(new_u)
+                if v_changed:
+                    dirty.add(sv)
+                    dirty.add(new_v)
+                index.refresh_involving(dirty)
+            else:
+                index.refresh_pair(sid[u], sid[v])
+
+            effective += 1
+            last_change = steps
+            event = Event(
+                steps, u, v,
+                state_of(su), state_of(new_u),
+                state_of(sv), state_of(new_v),
+                c, new_edge,
+            )
+            result = InteractionResult(
+                True, u_changed, v_changed, edge_changed, event
+            )
+            if _output_affected(protocol, result, event):
+                last_output_change = steps
+            if trace is not None:
+                trace.record(event, cfg)
+            since_check += 1
+            if since_check >= check_interval:
+                since_check = 0
+                if stabilized(cfg):
+                    return RunResult(
+                        True, steps, effective, last_change,
+                        last_output_change, cfg, "stabilized", trace,
+                    )
+        if require_convergence:
+            raise ConvergenceError(
+                f"{protocol.name} did not stabilize within budget (n={n})",
+                steps,
+            )
+        return RunResult(
+            False, steps, effective, last_change, last_output_change, cfg,
+            "max_steps", trace,
+        )
+
+
+#: Engine registry: name -> engine class taking ``seed=``.  The
+#: sequential engine additionally accepts a ``scheduler`` and requires a
+#: finite ``max_steps`` budget.
+ENGINES: dict[str, type] = {
+    "sequential": SequentialSimulator,
+    "agitated": AgitatedSimulator,
+    "indexed": IndexedSimulator,
+}
+
+
+def make_engine(engine: str, seed: int | None = None):
+    """Instantiate an engine from the :data:`ENGINES` registry by name."""
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise SimulationError(
+            f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
+        ) from None
+    return cls(seed=seed)
+
+
 def run_to_convergence(
     protocol: Protocol,
     n: int,
@@ -420,11 +617,13 @@ def run_to_convergence(
     max_steps: int | None = None,
     trace: Trace | None = None,
     check_interval: int = 1,
+    engine: str = "indexed",
 ) -> RunResult:
-    """Convenience wrapper: run the event-driven engine until the protocol
-    stabilizes (raises :class:`ConvergenceError` if a finite ``max_steps``
-    budget is exhausted first)."""
-    sim = AgitatedSimulator(seed=seed)
+    """Convenience wrapper: run an event-driven engine (the state-indexed
+    one by default) until the protocol stabilizes (raises
+    :class:`ConvergenceError` if a finite ``max_steps`` budget is
+    exhausted first)."""
+    sim = make_engine(engine, seed=seed)
     return sim.run(
         protocol,
         n,

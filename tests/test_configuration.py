@@ -118,3 +118,78 @@ class TestCopySemantics:
         assert c1 == c2
         c2.set_state(0, "b")
         assert c1 != c2
+
+    def test_copy_preserves_state_index(self):
+        config = Configuration(["a", "b", "a"])
+        clone = config.copy()
+        clone.set_state(0, "b")
+        assert config.state_counts() == {"a": 2, "b": 1}
+        assert clone.state_counts() == {"a": 1, "b": 2}
+        assert clone.nodes_in_state("b") == [0, 1]
+
+
+class TestHashability:
+    """Configurations are mutable and deliberately unhashable; the
+    immutable ``signature()`` snapshot is the dict-key surrogate."""
+
+    def test_configuration_is_unhashable(self):
+        config = Configuration.uniform(3, "a")
+        with pytest.raises(TypeError):
+            hash(config)
+        with pytest.raises(TypeError):
+            {config}
+
+    def test_signature_is_a_usable_key(self):
+        c1 = Configuration(["a", "b"], [(0, 1)])
+        c2 = Configuration(["a", "b"], [(1, 0)])
+        seen = {c1.signature(): "first"}
+        assert seen[c2.signature()] == "first"
+        c2.set_state(0, "b")
+        assert c2.signature() not in seen
+
+
+class TestStateIndex:
+    """The incremental nodes-by-state index behind state_counts and
+    nodes_in_state."""
+
+    def test_counts_track_mutations(self):
+        config = Configuration.uniform(4, "a")
+        config.set_state(0, "b")
+        config.set_state(1, "b")
+        config.set_state(0, "c")
+        assert config.state_counts() == {"a": 2, "b": 1, "c": 1}
+        assert config.count_in_state("a") == 2
+        assert config.count_in_state("b") == 1
+        assert config.count_in_state("missing") == 0
+
+    def test_set_state_to_same_state_is_noop(self):
+        config = Configuration.uniform(3, "a")
+        config.set_state(1, "a")
+        assert config.state_counts() == {"a": 3}
+        assert config.nodes_in_state("a") == [0, 1, 2]
+
+    def test_nodes_in_state_sorted_and_live(self):
+        config = Configuration(["x", "y", "x", "y", "x"])
+        assert config.nodes_in_state("x") == [0, 2, 4]
+        config.set_state(2, "y")
+        assert config.nodes_in_state("x") == [0, 4]
+        assert config.nodes_in_state("y") == [1, 2, 3]
+        assert config.nodes_in_state("z") == []
+
+    def test_nodes_by_state_view(self):
+        config = Configuration(["a", "b", "a"])
+        bucket = config.nodes_by_state("a")
+        assert sorted(bucket) == [0, 2]
+        config.set_state(1, "a")
+        assert sorted(bucket) == [0, 1, 2]
+        assert config.nodes_by_state("b") is None
+
+    def test_unhashable_free_structured_states(self):
+        config = Configuration([("root", 0), ("free",), ("free",)])
+        assert config.count_in_state(("free",)) == 2
+        config.set_state(1, ("leaf",))
+        assert config.state_counts() == {
+            ("root", 0): 1,
+            ("free",): 1,
+            ("leaf",): 1,
+        }

@@ -1,0 +1,448 @@
+"""Tests for the state-indexed engine and its supporting layers.
+
+Covers the :mod:`repro.core.indexing` data structures, the compiled
+protocol layer (:meth:`repro.core.protocol.Protocol.compile`), and —
+most importantly — the **distributional equivalence** of
+:class:`IndexedSimulator` with the sequential and agitated engines under
+the uniform random scheduler, across the three protocol flavours: an
+explicit rule table, a PREL coin-flip protocol, and a structured-state
+constructor with a code-defined ``delta``.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.errors import ConvergenceError, SimulationError
+from repro.core.indexing import IndexedSet, PairClassIndex
+from repro.core.protocol import (
+    Distribution,
+    Protocol,
+    State,
+    TableProtocol,
+    coin_flip,
+    deterministic,
+    resolve,
+)
+from repro.core.simulator import (
+    ENGINES,
+    AgitatedSimulator,
+    IndexedSimulator,
+    SequentialSimulator,
+    make_engine,
+    run_to_convergence,
+)
+from repro.core.trace import Trace
+from repro.generic import ACTIVATE, AddressedEdgeOps
+from repro.processes import OneWayEpidemic, one_way_epidemic_expectation
+from repro.protocols import GlobalStar, SimpleGlobalLine
+
+
+class TokenCollector(Protocol):
+    """Structured-state constructor with a code-defined ``delta``: a root
+    carrying a counter absorbs free nodes one edge at a time.  The state
+    space is unbounded a priori, so the compiled layer must intern
+    lazily and memoize per-triple resolutions."""
+
+    name = "Token-Collector"
+    initial_state = ("free",)
+
+    def delta(self, a: State, b: State, c: int) -> Distribution | None:
+        if c == 0 and a[0] == "root" and b == ("free",):
+            return deterministic(("root", a[1] + 1), ("leaf",), 1)
+        return None
+
+    def initial_configuration(self, n: int) -> Configuration:
+        config = Configuration.uniform(n, ("free",))
+        config.set_state(0, ("root", 0))
+        return config
+
+    def stabilized(self, config: Configuration) -> bool:
+        return config.count_in_state(("free",)) == 0
+
+
+class LazyEpidemic(TableProtocol):
+    """PREL variant of the one-way epidemic: an infection attempt succeeds
+    with probability 1/2 (the other coin face is an identity outcome), so
+    the expected completion time is exactly twice the epidemic's."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="Lazy-Epidemic",
+            initial_state="b",
+            rules={
+                ("a", "b", 0): coin_flip(("a", "a", 0), ("a", "b", 0)),
+            },
+        )
+
+    def initial_configuration(self, n: int) -> Configuration:
+        config = Configuration.uniform(n, "b")
+        config.set_state(0, "a")
+        return config
+
+    def stabilized(self, config: Configuration) -> bool:
+        return config.count_in_state("a") == config.n
+
+
+class TestIndexedSet:
+    def test_add_discard_contains(self):
+        s = IndexedSet()
+        s.add(3)
+        s.add(7)
+        s.add(3)
+        assert len(s) == 2 and 3 in s and 7 in s
+        s.discard(3)
+        assert len(s) == 1 and 3 not in s
+        s.discard(99)  # absent: no-op
+        assert sorted(s) == [7]
+
+    def test_sample_uniform(self):
+        s = IndexedSet()
+        for i in range(4):
+            s.add(i)
+        rng = random.Random(0)
+        hits = [0] * 4
+        for _ in range(4000):
+            hits[s.sample(rng)] += 1
+        assert min(hits) > 800
+
+    def test_copy_is_independent(self):
+        s = IndexedSet()
+        s.add("x")
+        clone = s.copy()
+        clone.add("y")
+        assert "y" not in s and len(clone) == 2
+
+
+class TestPairClassIndex:
+    """The census must agree with brute-force pair enumeration."""
+
+    @staticmethod
+    def brute_force(protocol, cfg):
+        count = 0
+        for u in range(cfg.n):
+            for v in range(u + 1, cfg.n):
+                if protocol.is_effective(
+                    cfg.state(u), cfg.state(v), cfg.edge_state(u, v)
+                ):
+                    count += 1
+        return count
+
+    def test_total_matches_brute_force_through_a_run(self):
+        protocol = SimpleGlobalLine()
+        compiled = protocol.compile()
+        n = 12
+        cfg = protocol.initial_configuration(n)
+        sid = [compiled.intern(cfg.state(u)) for u in range(n)]
+        index = PairClassIndex(compiled.is_effective)
+        for u in range(n):
+            index.add_node(u, sid[u])
+        index.rebuild()
+        assert index.total == self.brute_force(protocol, cfg) == n * (n - 1) // 2
+
+        # Drive the real engine, then rebuild a census on the final
+        # configuration (where the `w` leader may still walk) and check it
+        # against brute force.
+        result = IndexedSimulator(seed=5).run(protocol, n, None)
+        final = result.config
+        index = PairClassIndex(compiled.is_effective)
+        for u in range(n):
+            index.add_node(u, compiled.intern(final.state(u)))
+        for u, v in final.active_edges():
+            index.add_edge(
+                u, v, compiled.intern(final.state(u)), compiled.intern(final.state(v))
+            )
+        index.rebuild()
+        assert index.total == self.brute_force(protocol, final)
+
+    def test_edge_class_reindexing_on_state_change(self):
+        compiled = TableProtocol(
+            "t", "a", {("a", "b", 1): ("a", "a", 1)}
+        ).compile()
+        a, b = compiled.intern("a"), compiled.intern("b")
+        index = PairClassIndex(compiled.is_effective)
+        index.add_node(0, a)
+        index.add_node(1, b)
+        index.add_edge(0, 1, a, b)
+        index.rebuild()
+        assert index.total == 1
+        # Node 1 flips to 'a': the (a, b, 1) class empties.
+        index.move_edge(1, 0, b, a, a)
+        index.move_node(1, b, a)
+        index.refresh_involving({b, a})
+        assert index.total == 0
+
+
+class TestCompiledProtocol:
+    def test_interning_is_deterministic(self):
+        ids1 = {s: GlobalStar().compile().intern(s) for s in GlobalStar().states}
+        ids2 = {s: GlobalStar().compile().intern(s) for s in GlobalStar().states}
+        assert ids1 == ids2
+
+    def test_resolved_matches_resolve(self):
+        protocol = SimpleGlobalLine()
+        compiled = protocol.compile()
+        for a in protocol.states:
+            for b in protocol.states:
+                for c in (0, 1):
+                    raw = resolve(protocol, a, b, c)
+                    cooked = compiled.resolved(
+                        compiled.intern(a), compiled.intern(b), c
+                    )
+                    if raw is None:
+                        assert cooked is None
+                        continue
+                    dist, swapped = raw
+                    cdist, cswapped = cooked
+                    assert swapped == cswapped
+                    assert [
+                        (p, out.as_triple()) for p, out in dist
+                    ] == [
+                        (
+                            p,
+                            (
+                                compiled.state_of(ia),
+                                compiled.state_of(ib),
+                                ic,
+                            ),
+                        )
+                        for p, (ia, ib, ic) in cdist
+                    ]
+
+    def test_effectiveness_matches_protocol(self):
+        protocol = SimpleGlobalLine()
+        compiled = protocol.compile()
+        for a in protocol.states:
+            for b in protocol.states:
+                for c in (0, 1):
+                    assert compiled.is_effective(
+                        compiled.intern(a), compiled.intern(b), c
+                    ) == protocol.is_effective(a, b, c)
+
+    def test_lazy_interning_for_code_defined_delta(self):
+        compiled = TokenCollector().compile()
+        assert compiled.n_states == 0
+        root = compiled.intern(("root", 0))
+        free = compiled.intern(("free",))
+        assert compiled.is_effective(root, free, 0)
+        assert not compiled.is_effective(free, free, 0)
+        # The absorption outcome interned two fresh states.
+        assert compiled.n_states == 4
+
+    def test_identity_distribution_is_ineffective(self):
+        protocol = TableProtocol(
+            "t", "a", {("a", "b", 0): [(0.5, ("a", "b", 0)), (0.5, ("a", "b", 0))]}
+        )
+        compiled = protocol.compile()
+        assert not compiled.is_effective(
+            compiled.intern("a"), compiled.intern("b"), 0
+        )
+
+
+class TestIndexedEngineBasics:
+    def test_registry_and_factory(self):
+        assert set(ENGINES) == {"sequential", "agitated", "indexed"}
+        assert isinstance(make_engine("indexed", seed=1), IndexedSimulator)
+        with pytest.raises(SimulationError):
+            make_engine("warp-drive")
+
+    def test_run_to_convergence_defaults_to_indexed(self):
+        result = run_to_convergence(GlobalStar(), 12, seed=0)
+        assert result.converged
+        assert GlobalStar().target_reached(result.config)
+
+    def test_run_to_convergence_sequential_requires_budget(self):
+        with pytest.raises(SimulationError):
+            run_to_convergence(GlobalStar(), 8, seed=0, engine="sequential")
+
+    def test_run_trials_sequential_requires_budget(self):
+        from repro.analysis import run_trials
+
+        with pytest.raises(SimulationError):
+            run_trials(GlobalStar, 8, 1, engine="sequential")
+        times = run_trials(
+            GlobalStar, 8, 2, engine="sequential", max_steps=100_000
+        )
+        assert len(times) == 2
+
+    def test_stabilizes_star_and_line(self):
+        star = IndexedSimulator(seed=0).run(GlobalStar(), 15, None)
+        assert star.converged and GlobalStar().target_reached(star.config)
+        line = IndexedSimulator(seed=0).run(SimpleGlobalLine(), 15, None)
+        assert line.converged
+        assert SimpleGlobalLine().target_reached(line.config)
+
+    def test_quiescence_detection(self):
+        protocol = TableProtocol("t", "a", {("a", "a", 0): ("b", "b", 1)})
+        result = IndexedSimulator(seed=0).run(protocol, 4, None)
+        assert result.converged
+        assert result.stop_reason in ("quiescent", "stabilized")
+
+    def test_max_steps_budget(self):
+        result = IndexedSimulator(seed=0).run(GlobalStar(), 40, max_steps=10)
+        assert not result.converged
+        assert result.steps == 10
+
+    def test_require_convergence_raises(self):
+        with pytest.raises(ConvergenceError):
+            IndexedSimulator(seed=0).run(
+                GlobalStar(), 40, max_steps=10, require_convergence=True
+            )
+
+    def test_max_effective_budget(self):
+        result = IndexedSimulator(seed=0).run(
+            GlobalStar(), 40, None, max_effective_steps=3
+        )
+        assert result.effective_steps <= 3
+
+    def test_seed_reproducibility(self):
+        r1 = IndexedSimulator(seed=11).run(GlobalStar(), 20, None)
+        r2 = IndexedSimulator(seed=11).run(GlobalStar(), 20, None)
+        assert r1.steps == r2.steps
+        assert r1.config == r2.config
+
+    def test_trace_records_events(self):
+        trace = Trace()
+        result = IndexedSimulator(seed=1).run(GlobalStar(), 8, None, trace=trace)
+        assert result.converged
+        assert len(trace) == result.effective_steps
+        assert trace.activations()
+
+    def test_in_place_configuration(self):
+        protocol = TableProtocol("t", "a", {("a", "a", 0): ("b", "b", 1)})
+        config = protocol.initial_configuration(4)
+        IndexedSimulator(seed=0).run(
+            protocol, 4, None, config=config, copy_config=False
+        )
+        assert config.state_counts().get("b", 0) == 4
+
+    def test_steps_dominate_effective_steps(self):
+        result = IndexedSimulator(seed=2).run(GlobalStar(), 16, None)
+        assert result.steps >= result.effective_steps
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(SimulationError):
+            IndexedSimulator(seed=0).run(GlobalStar(), 1, None)
+
+
+def _mean_ci(times):
+    mean = statistics.fmean(times)
+    half = 1.96 * statistics.stdev(times) / (len(times) ** 0.5)
+    return mean, half
+
+
+class TestDistributionalEquivalence:
+    """The indexed engine must sample the same convergence-time law as the
+    reference engines: means within overlapping 95% CI bands."""
+
+    def test_table_protocol_epidemic_vs_theory_and_engines(self):
+        n, trials = 12, 400
+        exact = one_way_epidemic_expectation(n)
+
+        idx_times = [
+            IndexedSimulator(seed=s).run(OneWayEpidemic(), n, None).last_change_step
+            for s in range(trials)
+        ]
+        agit_times = [
+            AgitatedSimulator(seed=s).run(OneWayEpidemic(), n, None).last_change_step
+            for s in range(trials)
+        ]
+        seq_times = [
+            SequentialSimulator(seed=s)
+            .run(OneWayEpidemic(), n, max_steps=100_000)
+            .last_change_step
+            for s in range(trials)
+        ]
+        idx_mean, _ = _mean_ci(idx_times)
+        assert abs(idx_mean - exact) / exact < 0.1
+        for other in (agit_times, seq_times):
+            mean, _ = _mean_ci(other)
+            assert abs(idx_mean - mean) / exact < 0.15
+
+    def test_table_protocol_ks_against_sequential(self):
+        from scipy.stats import ks_2samp
+
+        n, trials = 8, 400
+        idx_times = [
+            IndexedSimulator(seed=s).run(OneWayEpidemic(), n, None).last_change_step
+            for s in range(trials)
+        ]
+        seq_times = [
+            SequentialSimulator(seed=10_000 + s)
+            .run(OneWayEpidemic(), n, max_steps=100_000)
+            .last_change_step
+            for s in range(trials)
+        ]
+        statistic, p_value = ks_2samp(idx_times, seq_times)
+        assert p_value > 0.001, (statistic, p_value)
+
+    def test_prel_coin_flip_protocol(self):
+        n, trials = 10, 400
+        # Success probability 1/2 per pick exactly doubles the epidemic.
+        exact = 2 * one_way_epidemic_expectation(n)
+        idx_times = [
+            IndexedSimulator(seed=s).run(LazyEpidemic(), n, None).last_change_step
+            for s in range(trials)
+        ]
+        agit_times = [
+            AgitatedSimulator(seed=s).run(LazyEpidemic(), n, None).last_change_step
+            for s in range(trials)
+        ]
+        idx_mean, _ = _mean_ci(idx_times)
+        agit_mean, _ = _mean_ci(agit_times)
+        assert abs(idx_mean - exact) / exact < 0.1
+        assert abs(idx_mean - agit_mean) / exact < 0.15
+
+    def test_structured_state_generic_constructor(self):
+        n, trials = 10, 300
+        engines = {
+            "indexed": lambda s: IndexedSimulator(seed=s).run(
+                TokenCollector(), n, None
+            ),
+            "agitated": lambda s: AgitatedSimulator(seed=s).run(
+                TokenCollector(), n, None
+            ),
+            "sequential": lambda s: SequentialSimulator(seed=s).run(
+                TokenCollector(), n, max_steps=100_000
+            ),
+        }
+        means = {}
+        for name, run in engines.items():
+            times = []
+            for s in range(trials):
+                result = run(s)
+                assert result.converged
+                assert result.config.count_in_state(("root", n - 1)) == 1
+                assert result.config.n_active_edges == n - 1
+                times.append(result.last_change_step)
+            means[name] = _mean_ci(times)
+        idx_mean, _ = means["indexed"]
+        for name in ("agitated", "sequential"):
+            mean, _ = means[name]
+            assert abs(idx_mean - mean) / idx_mean < 0.15, (name, means)
+
+    def test_line_protocol_same_stable_outputs(self):
+        for seed in range(5):
+            idx = IndexedSimulator(seed=seed).run(SimpleGlobalLine(), 9, None)
+            agit = AgitatedSimulator(seed=seed).run(SimpleGlobalLine(), 9, None)
+            assert idx.converged and agit.converged
+            assert SimpleGlobalLine().target_reached(idx.config)
+            assert SimpleGlobalLine().target_reached(agit.config)
+
+    def test_addressed_edge_ops_structured_protocol(self):
+        """The Figure 6 machinery (tuple states, code-defined delta,
+        driver-installed selection marks) runs identically on the indexed
+        engine."""
+        for engine in ("indexed", "agitated"):
+            ops = AddressedEdgeOps(3)
+            config = ops.initial_configuration(6)
+            ops.select(config, 0, 2, ACTIVATE)
+            result = make_engine(engine, seed=4).run(
+                ops, config.n, None, config=config, copy_config=False
+            )
+            assert result.converged
+            assert config.edge_state(ops.d_agent(0), ops.d_agent(2)) == 1
