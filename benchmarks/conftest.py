@@ -8,23 +8,47 @@ stage structure — not absolute step counts.
 
 from __future__ import annotations
 
+import os
 import statistics
 
 from repro.analysis import fit_power_law, measure_convergence
+from repro.analysis.runner import ExperimentSpec, Runner
+from repro.protocols import registry
 
 
-def sweep(protocol_factory, sizes, trials, *, measure="output", base_seed=0,
-          check_interval=1, engine="indexed"):
-    """Mean convergence times across population sizes — thin wrapper over
+def sweep(protocol, sizes, trials, *, measure="output", base_seed=0,
+          check_interval=1, engine="indexed", seed_policy="hashed",
+          jobs=None):
+    """Mean convergence times across population sizes.
+
+    ``protocol`` may be a registry spec string, a registered protocol
+    class, or any zero-argument factory.  Registry-resolvable protocols
+    run as a declarative :class:`ExperimentSpec` through the
+    :class:`Runner` (set ``jobs`` or ``REPRO_BENCH_JOBS`` to fan trials
+    across cores); other factories fall back to
     :func:`repro.analysis.measure_convergence`.
 
     ``engine`` selects a :data:`repro.core.simulator.ENGINES` entry; the
     default state-indexed engine is what lets the sweeps reach sizes the
     per-node-rescan engine could not."""
+    spec_str = (
+        protocol if isinstance(protocol, str)
+        else registry.name_for_factory(protocol)
+    )
+    if spec_str is not None:
+        spec = ExperimentSpec(
+            protocol=spec_str, sizes=tuple(sizes), trials=trials,
+            engine=engine, measure=measure, seed_policy=seed_policy,
+            base_seed=base_seed, check_interval=check_interval,
+        )
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+        return Runner(jobs=jobs).run(spec).summaries()
     return measure_convergence(
-        protocol_factory, sizes, trials,
+        protocol, sizes, trials,
         measure=measure, base_seed=base_seed,
         check_interval=check_interval, engine=engine,
+        seed_policy=seed_policy,
     )
 
 

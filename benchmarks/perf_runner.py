@@ -1,0 +1,65 @@
+"""Perf smoke test for the parallel experiment runner.
+
+Runs :func:`repro.analysis.bench.bench_runner` — one Figure-2-style
+``ExperimentSpec`` through the serial and multiprocessing executors —
+writes the machine-readable record to ``BENCH_runner.json`` at the repo
+root, asserts the executor-equivalence contract (identical per-trial
+records up to wall-clock timing), and gates the parallel speedup when
+the host actually has cores to parallelize over.
+
+Not collected by the default ``pytest`` run (the filename carries no
+``test_`` prefix, keeping tier-1 fast); invoke explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_runner.py -s
+
+or run the same workload via ``python -m repro.cli bench --runner``.
+``REPRO_BENCH_JOBS`` overrides the worker count (CI uses 2).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.bench import bench_runner, format_bench_runner
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+
+#: Wall-clock acceptance bars, keyed by what the host can deliver: a
+#: pool cannot beat its core count, so the gate scales with it (and is
+#: informational below 4 cores).
+MIN_SPEEDUP_8_CORES = 4.0
+MIN_SPEEDUP_4_CORES = 2.0
+
+
+def test_perf_runner():
+    jobs_env = os.environ.get("REPRO_BENCH_JOBS")
+    jobs = int(jobs_env) if jobs_env else None
+    record = bench_runner(jobs=jobs, out=str(OUT_PATH))
+    print("\n" + format_bench_runner(record))
+
+    # The hard gate: executors are interchangeable.
+    assert record["records_identical"], (
+        "serial and multiprocessing executors disagreed on per-trial "
+        "records for an identical spec"
+    )
+
+    # The speedup gate only binds where the hardware allows a speedup.
+    cores = record["cpu_count"]
+    speedup = record["speedup"]
+    if cores >= 8 and record["jobs"] >= 8:
+        assert speedup >= MIN_SPEEDUP_8_CORES, (
+            f"process executor only {speedup:.1f}x faster than serial "
+            f"with {record['jobs']} jobs on {cores} cores "
+            f"(need >= {MIN_SPEEDUP_8_CORES}x)"
+        )
+    elif cores >= 4 and record["jobs"] >= 4:
+        assert speedup >= MIN_SPEEDUP_4_CORES, (
+            f"process executor only {speedup:.1f}x faster than serial "
+            f"with {record['jobs']} jobs on {cores} cores "
+            f"(need >= {MIN_SPEEDUP_4_CORES}x)"
+        )
+
+
+if __name__ == "__main__":
+    test_perf_runner()

@@ -9,7 +9,6 @@ checked against the paper's upper/lower bound windows.
 from __future__ import annotations
 
 import networkx as nx
-import pytest
 
 from benchmarks.conftest import fitted_exponent, print_sweep, sweep
 from repro.analysis import run_trials
@@ -17,7 +16,6 @@ from repro.protocols import (
     CCliques,
     CycleCover,
     FastGlobalLine,
-    FasterGlobalLine,
     GlobalRing,
     GlobalStar,
     GraphReplication,

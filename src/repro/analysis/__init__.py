@@ -1,6 +1,12 @@
 """Measurement and estimation toolkit for the benchmark harness."""
 
-from repro.analysis.bench import BenchCell, bench_engines, format_bench
+from repro.analysis.bench import (
+    BenchCell,
+    bench_engines,
+    bench_runner,
+    format_bench,
+    format_bench_runner,
+)
 from repro.analysis.experiments import (
     MEASURES,
     Summary,
@@ -14,21 +20,41 @@ from repro.analysis.fitting import (
     empirical_ratio_curve,
     fit_power_law,
 )
+from repro.analysis.runner import (
+    EXECUTORS,
+    SEED_POLICIES,
+    ExperimentSpec,
+    Runner,
+    SweepResult,
+    TrialRecord,
+    TrialSpec,
+    run_trial,
+)
 from repro.analysis.tables import format_mean_ci, render_table
 
 __all__ = [
     "BenchCell",
+    "EXECUTORS",
+    "ExperimentSpec",
     "MEASURES",
     "PowerLawFit",
+    "Runner",
+    "SEED_POLICIES",
     "Summary",
+    "SweepResult",
+    "TrialRecord",
+    "TrialSpec",
     "bench_engines",
+    "bench_runner",
     "crossover_size",
-    "format_bench",
     "empirical_ratio_curve",
     "fit_power_law",
+    "format_bench",
+    "format_bench_runner",
     "format_mean_ci",
     "measure_convergence",
     "render_table",
+    "run_trial",
     "run_trials",
     "summarize",
 ]

@@ -1,30 +1,39 @@
-"""Perf smoke harness: wall-clock comparison of the simulation engines.
+"""Perf smoke harness: wall-clock benchmarks of engines and executors.
 
-Times every engine in :data:`repro.core.simulator.ENGINES` on two fixed
-workloads — the Figure 2 Simple-Global-Line sweep (the convergence-time
-experiments' hot path) and the Figure 1 Global-Star run — and emits a
-machine-readable record (``BENCH_engines.json``) so future PRs can track
-the perf trajectory.  Used by ``benchmarks/perf_smoke.py`` (which asserts
-the indexed engine's speedup) and by ``python -m repro.cli bench``.
+Two benchmark entry points:
+
+* :func:`bench_engines` — times every engine in
+  :data:`repro.core.simulator.ENGINES` on two fixed workloads (the
+  Figure 2 Simple-Global-Line sweep and the Figure 1 Global-Star run)
+  and emits ``BENCH_engines.json``.  Used by ``benchmarks/perf_smoke.py``
+  (which asserts the indexed engine's speedup) and ``repro-net bench``.
+* :func:`bench_runner` — runs one Figure-2-style
+  :class:`~repro.analysis.runner.ExperimentSpec` through the serial and
+  multiprocessing executors, verifies the per-trial records are
+  identical, and emits ``BENCH_runner.json`` with the parallel speedup
+  and the host's core count.  Used by ``benchmarks/perf_runner.py`` and
+  ``repro-net bench --runner``.
+
+Both are driven by the declarative runner layer, so every timing is a
+plain :class:`~repro.analysis.runner.TrialRecord` aggregate.
 
 The sequential engine walks every scheduler step, so it only appears on
-the star workload with a finite step budget; the two event-driven engines
-run the full line sweep to convergence.
+the star workload with a finite step budget; the two event-driven
+engines run the full line sweep to convergence.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import statistics
 import sys
 import time
 from dataclasses import asdict, dataclass
-from typing import Callable
 
-from repro.core.protocol import Protocol
-from repro.core.simulator import ENGINES, make_engine
-from repro.protocols import GlobalStar, SimpleGlobalLine
+from repro.analysis.runner import ExperimentSpec, Runner
+from repro.core.simulator import ENGINES
 
 #: Figure 2 line-protocol sweep sizes.  The seed repo's largest Figure 2
 #: population was n=30; the indexed engine extends the sweep upward
@@ -37,6 +46,12 @@ STAR_N = 40
 
 #: Step budget for the sequential engine on the star workload.
 STAR_SEQUENTIAL_BUDGET = 10_000_000
+
+#: Default Figure-2-style sweep for the executor benchmark: enough
+#: trials that the pool has work to fan out, sizes small enough that the
+#: serial pass stays in seconds.
+RUNNER_SIZES: tuple[int, ...] = (30, 60, 120, 240)
+RUNNER_TRIALS = 8
 
 
 @dataclass(frozen=True)
@@ -56,7 +71,7 @@ class BenchCell:
 
 def _time_engine(
     workload: str,
-    protocol_factory: Callable[[], Protocol],
+    protocol_spec: str,
     engine: str,
     n: int,
     trials: int,
@@ -64,31 +79,39 @@ def _time_engine(
     base_seed: int = 0,
     max_steps: int | None = None,
 ) -> BenchCell:
-    seconds: list[float] = []
-    steps: list[int] = []
-    eff: list[int] = []
-    converged = True
-    name = ""
-    for trial in range(trials):
-        protocol = protocol_factory()
-        name = protocol.name
-        sim = make_engine(engine, seed=base_seed + trial)
-        start = time.perf_counter()
-        result = sim.run(protocol, n, max_steps)
-        seconds.append(time.perf_counter() - start)
-        steps.append(result.steps)
-        eff.append(result.effective_steps)
-        converged = converged and result.converged
+    """Time one (workload, engine, n) cell via a serial Runner sweep.
+
+    The legacy seed policy keeps seeds identical across engines (and
+    across benchmark history), so wall-clock ratios compare like with
+    like.
+    """
+    spec = ExperimentSpec(
+        protocol=protocol_spec,
+        sizes=(n,),
+        trials=trials,
+        engine=engine,
+        seed_policy="legacy",
+        base_seed=base_seed,
+        max_steps=max_steps,
+        label=workload,
+    )
+    result = Runner().run(spec)
+    from repro.protocols import registry
+
     return BenchCell(
         workload=workload,
-        protocol=name,
+        protocol=registry.instantiate(protocol_spec).name,
         engine=engine,
         n=n,
         trials=trials,
-        mean_seconds=statistics.fmean(seconds),
-        mean_steps=statistics.fmean(steps),
-        mean_effective=statistics.fmean(eff),
-        converged=converged,
+        mean_seconds=statistics.fmean(
+            r.elapsed_seconds for r in result.records
+        ),
+        mean_steps=statistics.fmean(r.steps for r in result.records),
+        mean_effective=statistics.fmean(
+            r.effective_steps for r in result.records
+        ),
+        converged=all(r.converged for r in result.records),
     )
 
 
@@ -116,7 +139,7 @@ def bench_engines(
         for engine in event_driven:
             cells.append(
                 _time_engine(
-                    "figure2-line", SimpleGlobalLine, engine, n, trials,
+                    "figure2-line", "simple-global-line", engine, n, trials,
                     base_seed=base_seed,
                 )
             )
@@ -124,7 +147,7 @@ def bench_engines(
         budget = STAR_SEQUENTIAL_BUDGET if engine == "sequential" else None
         cells.append(
             _time_engine(
-                "figure1-star", GlobalStar, engine, star_n, trials,
+                "figure1-star", "global-star", engine, star_n, trials,
                 base_seed=base_seed, max_steps=budget,
             )
         )
@@ -177,3 +200,87 @@ def format_bench(record: dict) -> str:
         f"n={headline['n']}: {headline['speedup']:.1f}x"
     )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Executor benchmark (serial vs multiprocessing Runner)
+# ----------------------------------------------------------------------
+
+def bench_runner(
+    *,
+    protocol: str = "simple-global-line",
+    sizes: tuple[int, ...] = RUNNER_SIZES,
+    trials: int = RUNNER_TRIALS,
+    jobs: int | None = None,
+    base_seed: int = 0,
+    out: str | None = None,
+) -> dict:
+    """Time one sweep spec under the serial and process executors.
+
+    Verifies the executor-equivalence contract (identical per-trial
+    records up to wall-clock timing) and records the parallel speedup
+    together with the host's core count — the speedup is only meaningful
+    relative to ``cpu_count``.
+    """
+    spec = ExperimentSpec(
+        protocol=protocol,
+        sizes=sizes,
+        trials=trials,
+        base_seed=base_seed,
+        label="figure2-line-sweep",
+    )
+    cpu_count = os.cpu_count() or 1
+    if jobs is None:
+        jobs = max(2, min(8, cpu_count))
+
+    start = time.perf_counter()
+    serial = Runner(jobs=1).run(spec)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = Runner(jobs=jobs).run(spec)
+    parallel_seconds = time.perf_counter() - start
+
+    identical = [r.deterministic() for r in serial.records] == [
+        r.deterministic() for r in parallel.records
+    ]
+    record = {
+        "schema": "repro-bench-runner/1",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": cpu_count,
+        "jobs": jobs,
+        "spec": spec.to_dict(),
+        "trial_count": len(serial.records),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "records_identical": identical,
+        "mean_value_by_n": {
+            str(n): summary.mean
+            for n, summary in serial.summaries().items()
+        },
+    }
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    return record
+
+
+def format_bench_runner(record: dict) -> str:
+    """Human-readable summary of a :func:`bench_runner` record."""
+    spec = record["spec"]
+    return "\n".join(
+        [
+            f"sweep          : {spec['protocol']} "
+            f"sizes={spec['sizes']} trials={spec['trials']}",
+            f"trials total   : {record['trial_count']}",
+            f"serial         : {record['serial_seconds']:.2f} s",
+            f"process x{record['jobs']:<4}  : "
+            f"{record['parallel_seconds']:.2f} s",
+            f"speedup        : {record['speedup']:.2f}x "
+            f"(host has {record['cpu_count']} cores)",
+            f"records equal  : {record['records_identical']}",
+        ]
+    )

@@ -1,61 +1,64 @@
-"""Trial runners: many seeds x many population sizes, with summaries.
+"""Compatibility shims over the declarative runner layer.
 
-The paper measures the expected number of sequential interaction steps to
-convergence under the uniform random scheduler; :func:`measure_convergence`
-estimates it by averaging independent seeded runs of the event-driven
-engine.
+:func:`run_trials` and :func:`measure_convergence` predate
+:mod:`repro.analysis.runner`; they survive as thin wrappers so existing
+callers (tests, benchmarks, examples) keep working with protocol
+*factories* as well as registry spec strings.  New code should build an
+:class:`~repro.analysis.runner.ExperimentSpec` and a
+:class:`~repro.analysis.runner.Runner` directly — that is the layer with
+parallel executors and serializable results.
+
+Seeding: :func:`measure_convergence` defaults to the ``hashed`` seed
+policy, deriving each trial's seed from ``(base_seed, protocol, n,
+trial)`` so sweep cells are statistically independent.  The seed-era
+scheme — every ``n`` reusing seeds ``base_seed .. base_seed+trials-1``,
+cross-correlating cells — remains available as ``seed_policy="legacy"``
+for reproducing historical numbers.  Single-cell :func:`run_trials`
+keeps the legacy default: with one ``n`` there is nothing to correlate,
+and historical per-cell results stay bit-identical.
 """
 
 from __future__ import annotations
 
-import math
-import statistics
-from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
+from repro.analysis.runner import (
+    MEASURES,
+    SEED_POLICIES,
+    Summary,
+    run_one,
+    summarize,
+)
 from repro.core.protocol import Protocol
-from repro.core.simulator import RunResult, make_engine
+from repro.protocols import registry
 
-#: How to read "the time" off a run result.
-MEASURES: dict[str, Callable[[RunResult], int]] = {
-    # The paper's convergence time for network constructors: the last
-    # step at which the output graph changed.
-    "output": lambda r: r.last_output_change_step,
-    # For the Section 3.3 processes: the last change of any kind.
-    "last_change": lambda r: r.last_change_step,
-    # Total steps until the engine detected stabilization.
-    "steps": lambda r: r.steps,
-    # Number of effective interactions (work performed).
-    "effective": lambda r: r.effective_steps,
-}
+__all__ = [
+    "MEASURES",
+    "Summary",
+    "measure_convergence",
+    "run_trials",
+    "summarize",
+]
 
 
-@dataclass(frozen=True)
-class Summary:
-    """Sample statistics of one (protocol, n) cell."""
+def _as_factory(
+    protocol: Callable[[], Protocol] | str,
+) -> Callable[[], Protocol]:
+    """Accept a factory callable or a registry spec string."""
+    if isinstance(protocol, str):
+        entry, params = registry.parse_spec(protocol)
+        return lambda: entry.instantiate(**params)
+    return protocol
 
-    n: int
-    trials: int
-    mean: float
-    stdev: float
-    minimum: int
-    maximum: int
 
-    @property
-    def ci95_halfwidth(self) -> float:
-        """Normal-approximation 95% confidence half-width of the mean."""
-        if self.trials < 2:
-            return float("inf")
-        return 1.96 * self.stdev / math.sqrt(self.trials)
-
-    @property
-    def ci95(self) -> tuple[float, float]:
-        h = self.ci95_halfwidth
-        return (self.mean - h, self.mean + h)
+def _seed_key(protocol: Protocol) -> str:
+    """Seed-derivation key: the canonical registry spec when the class is
+    registered, else the protocol's own name — stable either way."""
+    return registry.spec_for(protocol) or protocol.name
 
 
 def run_trials(
-    protocol_factory: Callable[[], Protocol],
+    protocol_factory: Callable[[], Protocol] | str,
     n: int,
     trials: int,
     *,
@@ -64,45 +67,38 @@ def run_trials(
     max_steps: int | None = None,
     check_interval: int = 1,
     engine: str = "indexed",
+    seed_policy: str = "legacy",
 ) -> list[int]:
     """Convergence times of ``trials`` independent runs at size ``n``.
 
-    Seeds are ``base_seed + trial`` for reproducibility; a fresh protocol
-    instance is built per trial so stateful protocols stay isolated.
-    ``engine`` selects a :data:`repro.core.simulator.ENGINES` entry; all
-    engines sample the same convergence-time distribution under the
-    uniform random scheduler.
+    A fresh protocol instance is built per trial so stateful protocols
+    stay isolated; per-trial seeds come from ``seed_policy`` (see module
+    docstring).  ``engine`` selects a
+    :data:`repro.core.simulator.ENGINES` entry; all engines sample the
+    same convergence-time distribution under the uniform random
+    scheduler.
     """
-    read = MEASURES[measure]
+    factory = _as_factory(protocol_factory)
+    seed_of = SEED_POLICIES[seed_policy]
     times: list[int] = []
     for trial in range(trials):
-        protocol = protocol_factory()
-        sim = make_engine(engine, seed=base_seed + trial)
-        result = sim.run(
+        protocol = factory()
+        record = run_one(
             protocol,
-            n,
-            max_steps,
+            n=n,
+            trial=trial,
+            seed=seed_of(base_seed, _seed_key(protocol), n, trial),
+            engine=engine,
+            measure=measure,
+            max_steps=max_steps,
             check_interval=check_interval,
-            require_convergence=max_steps is not None,
         )
-        times.append(read(result))
+        times.append(record.value)
     return times
 
 
-def summarize(n: int, times: Sequence[int]) -> Summary:
-    """Sample statistics for one cell."""
-    return Summary(
-        n=n,
-        trials=len(times),
-        mean=statistics.fmean(times),
-        stdev=statistics.stdev(times) if len(times) > 1 else 0.0,
-        minimum=min(times),
-        maximum=max(times),
-    )
-
-
 def measure_convergence(
-    protocol_factory: Callable[[], Protocol],
+    protocol_factory: Callable[[], Protocol] | str,
     ns: Iterable[int],
     trials: int,
     *,
@@ -111,6 +107,7 @@ def measure_convergence(
     max_steps: int | None = None,
     check_interval: int = 1,
     engine: str = "indexed",
+    seed_policy: str = "hashed",
 ) -> dict[int, Summary]:
     """Sweep population sizes and summarize convergence times."""
     sweep: dict[int, Summary] = {}
@@ -124,6 +121,7 @@ def measure_convergence(
             max_steps=max_steps,
             check_interval=check_interval,
             engine=engine,
+            seed_policy=seed_policy,
         )
         sweep[n] = summarize(n, times)
     return sweep

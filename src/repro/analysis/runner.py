@@ -1,0 +1,420 @@
+"""Declarative experiment layer: specs in, structured results out.
+
+The paper's experiments are all sweeps — expected convergence time of a
+constructor over population sizes under the uniform random scheduler.
+This module makes such a sweep a *value*: a frozen
+:class:`ExperimentSpec` names the protocol (a registry spec string), the
+sizes, the trial count, the engine, the measure and the seed policy; the
+:class:`Runner` expands it into independent :class:`TrialSpec` s and
+executes them with a pluggable executor — ``serial`` in-process or
+``process`` fanning trials across cores with :mod:`multiprocessing`
+(trials are embarrassingly parallel) — producing a :class:`SweepResult`
+of per-trial :class:`TrialRecord` s that round-trips through JSON via
+:mod:`repro.core.serialization`.
+
+Determinism contract: a trial's simulation outcome depends only on its
+:class:`TrialSpec` (protocol, n, seed, engine, budget) — never on which
+executor ran it or in what order — so serial and parallel execution of
+the same spec produce identical records (up to wall-clock timing).
+
+Seed policies
+-------------
+``hashed`` (default)
+    Per-trial seeds are derived by hashing ``(base_seed, protocol, n,
+    trial)`` (seed-sequence style), so every cell of a sweep draws
+    statistically independent randomness.
+``legacy``
+    The seed-era scheme ``base_seed + trial``: every ``n`` in a sweep
+    reuses the same seeds, cross-correlating cells.  Kept only to
+    reproduce historical numbers.
+
+Typical use::
+
+    spec = ExperimentSpec(
+        protocol="simple-global-line", sizes=(30, 60, 120), trials=10,
+    )
+    result = Runner(jobs=4).run(spec)
+    result.summaries()          # {n: Summary}
+    result.to_json()            # stable JSON, Runner-independent
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+import statistics
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+from repro.core.errors import ReproError
+from repro.core.protocol import Protocol
+from repro.core.simulator import ENGINES, RunResult, make_engine
+from repro.protocols import registry
+
+#: How to read "the time" off a run result.
+MEASURES: dict[str, Callable[[RunResult], int]] = {
+    # The paper's convergence time for network constructors: the last
+    # step at which the output graph changed.
+    "output": lambda r: r.last_output_change_step,
+    # For the Section 3.3 processes: the last change of any kind.
+    "last_change": lambda r: r.last_change_step,
+    # Total steps until the engine detected stabilization.
+    "steps": lambda r: r.steps,
+    # Number of effective interactions (work performed).
+    "effective": lambda r: r.effective_steps,
+}
+
+
+class ExperimentError(ReproError):
+    """An experiment spec is invalid or its execution failed."""
+
+
+# ----------------------------------------------------------------------
+# Seed policies
+# ----------------------------------------------------------------------
+
+def _hashed_seed(base_seed: int, protocol: str, n: int, trial: int) -> int:
+    payload = f"{base_seed}|{protocol}|{n}|{trial}".encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+def _legacy_seed(base_seed: int, protocol: str, n: int, trial: int) -> int:
+    return base_seed + trial
+
+
+#: name -> seed derivation ``(base_seed, protocol_key, n, trial) -> seed``.
+SEED_POLICIES: dict[str, Callable[[int, str, int, int], int]] = {
+    "hashed": _hashed_seed,
+    "legacy": _legacy_seed,
+}
+
+
+# ----------------------------------------------------------------------
+# Summaries (moved here from analysis.experiments; re-exported there)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Summary:
+    """Sample statistics of one (protocol, n) cell."""
+
+    n: int
+    trials: int
+    mean: float
+    stdev: float
+    minimum: int
+    maximum: int
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% confidence half-width of the mean."""
+        if self.trials < 2:
+            return float("inf")
+        return 1.96 * self.stdev / math.sqrt(self.trials)
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        h = self.ci95_halfwidth
+        return (self.mean - h, self.mean + h)
+
+
+def summarize(n: int, times: Sequence[int]) -> Summary:
+    """Sample statistics for one cell."""
+    return Summary(
+        n=n,
+        trials=len(times),
+        mean=statistics.fmean(times),
+        stdev=statistics.stdev(times) if len(times) > 1 else 0.0,
+        minimum=min(times),
+        maximum=max(times),
+    )
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, serializable description of one sweep.
+
+    ``protocol`` is a registry spec string (``"simple-global-line"``,
+    ``"3rc"``, ``"c-cliques:c=4"``); it is canonicalized on construction
+    so equal experiments compare (and hash, and serialize) equal.
+    """
+
+    protocol: str
+    sizes: tuple[int, ...]
+    trials: int
+    engine: str = "indexed"
+    measure: str = "output"
+    seed_policy: str = "hashed"
+    base_seed: int = 0
+    max_steps: int | None = None
+    check_interval: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "protocol", registry.canonical_spec(self.protocol)
+        )
+        object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
+        if not self.sizes:
+            raise ExperimentError("spec needs at least one population size")
+        if self.trials < 1:
+            raise ExperimentError(f"trials must be >= 1, got {self.trials}")
+        if self.engine not in ENGINES:
+            raise ExperimentError(
+                f"unknown engine {self.engine!r}; choose from {sorted(ENGINES)}"
+            )
+        if self.measure not in MEASURES:
+            raise ExperimentError(
+                f"unknown measure {self.measure!r}; "
+                f"choose from {sorted(MEASURES)}"
+            )
+        if self.seed_policy not in SEED_POLICIES:
+            raise ExperimentError(
+                f"unknown seed policy {self.seed_policy!r}; "
+                f"choose from {sorted(SEED_POLICIES)}"
+            )
+        if self.engine == "sequential" and self.max_steps is None:
+            raise ExperimentError(
+                "the sequential engine needs a finite max_steps budget"
+            )
+
+    def expand(self) -> list[TrialSpec]:
+        """The independent trials of this sweep, in (n, trial) order."""
+        seed_of = SEED_POLICIES[self.seed_policy]
+        return [
+            TrialSpec(
+                protocol=self.protocol,
+                n=n,
+                trial=trial,
+                seed=seed_of(self.base_seed, self.protocol, n, trial),
+                engine=self.engine,
+                measure=self.measure,
+                max_steps=self.max_steps,
+                check_interval=self.check_interval,
+            )
+            for n in self.sizes
+            for trial in range(self.trials)
+        ]
+
+    def to_dict(self) -> dict:
+        from repro.core.serialization import experiment_spec_to_dict
+
+        return experiment_spec_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> ExperimentSpec:
+        from repro.core.serialization import experiment_spec_from_dict
+
+        return experiment_spec_from_dict(payload)
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent trial of an expanded :class:`ExperimentSpec`.
+
+    Fully self-describing and picklable: the ``process`` executor ships
+    these to worker processes, which rebuild the protocol from the
+    registry spec string.
+    """
+
+    protocol: str
+    n: int
+    trial: int
+    seed: int
+    engine: str = "indexed"
+    measure: str = "output"
+    max_steps: int | None = None
+    check_interval: int = 1
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Outcome of one trial.
+
+    Every field except ``elapsed_seconds`` is a deterministic function of
+    the :class:`TrialSpec`; :meth:`deterministic` strips the timing so
+    records from different executors compare equal.
+    """
+
+    n: int
+    trial: int
+    seed: int
+    value: int
+    steps: int
+    effective_steps: int
+    converged: bool
+    stop_reason: str
+    elapsed_seconds: float
+
+    def deterministic(self) -> TrialRecord:
+        return replace(self, elapsed_seconds=0.0)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All trial records of one executed :class:`ExperimentSpec`."""
+
+    spec: ExperimentSpec
+    records: tuple[TrialRecord, ...]
+
+    def times(self, n: int) -> list[int]:
+        """Measured values of size-``n`` trials, in trial order."""
+        return [r.value for r in self.records if r.n == n]
+
+    def summaries(self) -> dict[int, Summary]:
+        """Per-size sample statistics, keyed by population size."""
+        return {n: summarize(n, self.times(n)) for n in self.spec.sizes}
+
+    def to_dict(self) -> dict:
+        from repro.core.serialization import sweep_result_to_dict
+
+        return sweep_result_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> SweepResult:
+        from repro.core.serialization import sweep_result_from_dict
+
+        return sweep_result_from_dict(payload)
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> SweepResult:
+        import json
+
+        return SweepResult.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Trial execution (shared by every executor and by analysis.experiments)
+# ----------------------------------------------------------------------
+
+def run_one(
+    protocol: Protocol,
+    *,
+    n: int,
+    trial: int,
+    seed: int,
+    engine: str = "indexed",
+    measure: str = "output",
+    max_steps: int | None = None,
+    check_interval: int = 1,
+) -> TrialRecord:
+    """Run one already-instantiated protocol and record the outcome.
+
+    The single trial-execution code path: the Runner's executors and the
+    legacy factory-based :func:`repro.analysis.experiments.run_trials`
+    both end up here.
+    """
+    read = MEASURES[measure]
+    sim = make_engine(engine, seed=seed)
+    start = time.perf_counter()
+    result = sim.run(
+        protocol,
+        n,
+        max_steps,
+        check_interval=check_interval,
+        require_convergence=max_steps is not None,
+    )
+    elapsed = time.perf_counter() - start
+    return TrialRecord(
+        n=n,
+        trial=trial,
+        seed=seed,
+        value=read(result),
+        steps=result.steps,
+        effective_steps=result.effective_steps,
+        converged=result.converged,
+        stop_reason=result.stop_reason,
+        elapsed_seconds=elapsed,
+    )
+
+
+def run_trial(trial: TrialSpec) -> TrialRecord:
+    """Execute one :class:`TrialSpec` (module-level: picklable)."""
+    protocol = registry.instantiate(trial.protocol)
+    return run_one(
+        protocol,
+        n=trial.n,
+        trial=trial.trial,
+        seed=trial.seed,
+        engine=trial.engine,
+        measure=trial.measure,
+        max_steps=trial.max_steps,
+        check_interval=trial.check_interval,
+    )
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+def serial_executor(trials: Sequence[TrialSpec], jobs: int) -> list[TrialRecord]:
+    """Run every trial in-process, in order."""
+    return [run_trial(trial) for trial in trials]
+
+
+def process_executor(trials: Sequence[TrialSpec], jobs: int) -> list[TrialRecord]:
+    """Fan trials out across a :mod:`multiprocessing` pool.
+
+    ``pool.map`` preserves input order, so the returned records line up
+    with the serial executor's exactly.
+    """
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(trials) <= 1:
+        return serial_executor(trials, jobs)
+    chunksize = max(1, len(trials) // (jobs * 4))
+    with multiprocessing.Pool(processes=jobs) as pool:
+        return pool.map(run_trial, list(trials), chunksize=chunksize)
+
+
+#: name -> ``(trials, jobs) -> records`` executor.  Future scenario axes
+#: (remote executors, fault-injecting harnesses) plug in here.
+EXECUTORS: dict[str, Callable[[Sequence[TrialSpec], int], list[TrialRecord]]] = {
+    "serial": serial_executor,
+    "process": process_executor,
+}
+
+
+@dataclass(frozen=True)
+class Runner:
+    """Executes :class:`ExperimentSpec` s with a named executor.
+
+    ``jobs`` is the parallelism degree; when ``executor`` is left empty
+    it picks ``serial`` for ``jobs == 1`` and ``process`` otherwise.
+    """
+
+    jobs: int = 1
+    executor: str = ""
+
+    def executor_name(self) -> str:
+        if self.executor:
+            return self.executor
+        return "serial" if self.jobs == 1 else "process"
+
+    def run(self, spec: ExperimentSpec) -> SweepResult:
+        """Expand ``spec`` and execute every trial; never partial — an
+        executor failure propagates rather than truncating the sweep."""
+        name = self.executor_name()
+        try:
+            execute = EXECUTORS[name]
+        except KeyError:
+            raise ExperimentError(
+                f"unknown executor {name!r}; choose from {sorted(EXECUTORS)}"
+            ) from None
+        trials = spec.expand()
+        records = execute(trials, self.jobs)
+        return SweepResult(spec=spec, records=tuple(records))
+
+    def run_all(self, specs: Iterable[ExperimentSpec]) -> list[SweepResult]:
+        """Execute several sweeps back to back."""
+        return [self.run(spec) for spec in specs]

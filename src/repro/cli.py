@@ -5,19 +5,23 @@ Examples
 Run a protocol and summarize the stabilized network::
 
     repro-net run global-star -n 30 --seed 7
-    repro-net run simple-global-line -n 20 --trace
+    repro-net run 4-cliques -n 20
 
-Sweep sizes and fit the growth order::
+Sweep sizes in parallel and persist the per-trial records::
 
-    repro-net sweep cycle-cover --sizes 20,40,80 --trials 10
+    repro-net sweep cycle-cover --sizes 20,40,80 --trials 10 --jobs 4 \\
+        --out sweep.json
 
-Time the simulation engines against each other::
+Time the simulation engines (or the parallel executors) against each
+other::
 
     repro-net bench --out BENCH_engines.json
+    repro-net bench --runner --out BENCH_runner.json
 
-List everything available::
+List everything the protocol registry knows::
 
     repro-net list
+    repro-net describe k-regular-connected
 """
 
 from __future__ import annotations
@@ -25,41 +29,25 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis import fit_power_law, measure_convergence
-from repro.analysis.bench import LINE_SIZES, bench_engines, format_bench
-from repro.core.errors import ReproError
-from repro.core.simulator import ENGINES, run_to_convergence
-from repro.protocols import (
-    CCliques,
-    CycleCover,
-    FastGlobalLine,
-    FasterGlobalLine,
-    GlobalRing,
-    GlobalStar,
-    KRegularConnected,
-    LeaderDrivenLine,
-    SimpleGlobalLine,
-    SpanningNetwork,
-    TwoRegularConnected,
+from repro.analysis import fit_power_law
+from repro.analysis.bench import (
+    LINE_SIZES,
+    bench_engines,
+    bench_runner,
+    format_bench,
+    format_bench_runner,
 )
+from repro.analysis.runner import (
+    MEASURES,
+    SEED_POLICIES,
+    ExperimentSpec,
+    Runner,
+)
+from repro.core.errors import ReproError
+from repro.core.serialization import dump_sweep_result
+from repro.core.simulator import ENGINES, run_to_convergence
+from repro.protocols import registry
 from repro.viz import component_summary, state_summary
-
-#: name -> zero-argument protocol factory
-PROTOCOLS = {
-    "simple-global-line": SimpleGlobalLine,
-    "fast-global-line": FastGlobalLine,
-    "faster-global-line": FasterGlobalLine,
-    "leader-driven-line": LeaderDrivenLine,
-    "cycle-cover": CycleCover,
-    "global-star": GlobalStar,
-    "global-ring": GlobalRing,
-    "2rc": TwoRegularConnected,
-    "3rc": lambda: KRegularConnected(3),
-    "4rc": lambda: KRegularConnected(4),
-    "3-cliques": lambda: CCliques(3),
-    "4-cliques": lambda: CCliques(4),
-    "spanning-network": SpanningNetwork,
-}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,7 +58,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run one protocol to stabilization")
-    run_p.add_argument("protocol", choices=sorted(PROTOCOLS))
+    run_p.add_argument(
+        "protocol",
+        help="registry spec: a name ('global-star'), a parameterized spec "
+        "('c-cliques:c=4') or a shorthand ('3rc', '4-cliques')",
+    )
     run_p.add_argument("-n", type=int, default=20, help="population size")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument(
@@ -83,7 +75,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sweep_p = sub.add_parser("sweep", help="measure convergence across sizes")
-    sweep_p.add_argument("protocol", choices=sorted(PROTOCOLS))
+    sweep_p.add_argument("protocol", help="registry spec (see 'run')")
     sweep_p.add_argument(
         "--sizes", default="10,20,40", help="comma-separated population sizes"
     )
@@ -97,28 +89,60 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-steps", type=int, default=None,
         help="per-run step budget (required by --engine sequential)",
     )
+    sweep_p.add_argument(
+        "--measure", choices=sorted(MEASURES), default="output",
+        help="which time to read off each run (default: output)",
+    )
+    sweep_p.add_argument(
+        "--seed-policy", choices=sorted(SEED_POLICIES), default="hashed",
+        help="per-trial seed derivation (default: hashed; 'legacy' "
+        "reproduces seed-era numbers)",
+    )
+    sweep_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel worker processes (default: 1 = in-process serial)",
+    )
+    sweep_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full SweepResult as JSON ('-' for stdout)",
+    )
 
     bench_p = sub.add_parser(
-        "bench", help="time all simulation engines on fixed workloads"
+        "bench", help="time engines (default) or parallel executors"
+    )
+    bench_p.add_argument(
+        "--runner", action="store_true",
+        help="benchmark the serial vs multiprocessing executors instead "
+        "of the simulation engines",
     )
     bench_p.add_argument(
         "--line-sizes",
         default=",".join(map(str, LINE_SIZES)),
         help="comma-separated Figure 2 line sweep sizes",
     )
-    bench_p.add_argument("--trials", type=int, default=2)
+    bench_p.add_argument("--trials", type=int, default=None)
     bench_p.add_argument("--seed", type=int, default=0)
     bench_p.add_argument(
-        "--out", default="BENCH_engines.json",
-        help="output JSON path ('-' to skip writing)",
+        "--jobs", type=int, default=None,
+        help="worker processes for --runner (default: min(8, cores))",
+    )
+    bench_p.add_argument(
+        "--out", default=None,
+        help="output JSON path ('-' to skip writing; default: "
+        "BENCH_engines.json, or BENCH_runner.json with --runner)",
     )
 
-    sub.add_parser("list", help="list available protocols")
+    sub.add_parser("list", help="list all registered protocols")
+
+    describe_p = sub.add_parser(
+        "describe", help="show one protocol's registry entry in full"
+    )
+    describe_p.add_argument("protocol", help="registry spec (see 'run')")
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    protocol = PROTOCOLS[args.protocol]()
+    protocol = registry.instantiate(args.protocol)
     result = run_to_convergence(
         protocol, args.n, seed=args.seed, max_steps=args.max_steps,
         engine=args.engine,
@@ -137,34 +161,104 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    factory = PROTOCOLS[args.protocol]
-    sizes = [int(s) for s in args.sizes.split(",")]
-    sweep = measure_convergence(
-        factory, sizes, args.trials, base_seed=args.seed, engine=args.engine,
+    spec = ExperimentSpec(
+        protocol=args.protocol,
+        sizes=tuple(int(s) for s in args.sizes.split(",")),
+        trials=args.trials,
+        engine=args.engine,
+        measure=args.measure,
+        seed_policy=args.seed_policy,
+        base_seed=args.seed,
         max_steps=args.max_steps,
     )
+    result = Runner(jobs=args.jobs).run(spec)
+    summaries = result.summaries()
     print(f"{'n':>6} {'mean':>12} {'±95%':>10} {'min':>10} {'max':>10}")
-    for n, summary in sweep.items():
+    for n in spec.sizes:
+        summary = summaries[n]
         print(
             f"{n:>6} {summary.mean:>12.1f} {summary.ci95_halfwidth:>10.1f} "
             f"{summary.minimum:>10} {summary.maximum:>10}"
         )
-    if len(sizes) >= 3:
-        fit = fit_power_law(sizes, [sweep[n].mean for n in sizes])
+    if len(spec.sizes) >= 3:
+        fit = fit_power_law(
+            list(spec.sizes), [summaries[n].mean for n in spec.sizes]
+        )
         print(f"\nfit: {fit.describe()}")
+    if args.out == "-":
+        print(result.to_json())
+    elif args.out is not None:
+        dump_sweep_result(result, args.out)
+        print(f"\nwrote {args.out}")
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    line_sizes = tuple(int(s) for s in args.line_sizes.split(","))
-    out = None if args.out == "-" else args.out
-    record = bench_engines(
-        line_sizes=line_sizes, trials=args.trials, base_seed=args.seed,
-        out=out,
-    )
-    print(format_bench(record))
+    if args.runner:
+        out = "BENCH_runner.json" if args.out is None else args.out
+        out = None if out == "-" else out
+        record = bench_runner(
+            trials=8 if args.trials is None else args.trials,
+            jobs=args.jobs, base_seed=args.seed, out=out,
+        )
+        print(format_bench_runner(record))
+    else:
+        out = "BENCH_engines.json" if args.out is None else args.out
+        out = None if out == "-" else out
+        line_sizes = tuple(int(s) for s in args.line_sizes.split(","))
+        record = bench_engines(
+            line_sizes=line_sizes,
+            trials=2 if args.trials is None else args.trials,
+            base_seed=args.seed, out=out,
+        )
+        print(format_bench(record))
     if out is not None:
         print(f"\nwrote {out}")
+    return 0
+
+
+def _cmd_list() -> int:
+    entries = registry.available()
+    width = max(len(e.signature()) for e in entries)
+    for entry in entries:
+        print(f"{entry.signature():<{width}}  {entry.description}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    entry, params = registry.parse_spec(args.protocol)
+    protocol = entry.instantiate(**params)
+    print(f"name        : {entry.name}")
+    if entry.aliases:
+        print(f"aliases     : {', '.join(entry.aliases)}")
+    if entry.shorthand:
+        print(f"shorthand   : {entry.shorthand}")
+    print(f"class       : {entry.factory.__module__}.{entry.factory.__name__}")
+    print(f"description : {entry.description}")
+    if entry.params:
+        print("parameters  :")
+        for p in entry.params:
+            bound = params.get(p.name)
+            extra = f" (>= {p.minimum})" if p.minimum is not None else ""
+            help_text = f" — {p.help}" if p.help else ""
+            print(
+                f"  {p.name}: {p.type.__name__} = {bound}"
+                f"{extra}{help_text}"
+            )
+    else:
+        print("parameters  : none")
+    size = getattr(protocol, "size", None)
+    if size is not None:
+        print(f"states      : {size}")
+    rules = getattr(protocol, "rules", None)
+    if callable(rules):
+        print(f"rules       : {len(rules())}")
+    doc = (entry.factory.__doc__ or "").strip()
+    if doc:
+        first_paragraph = doc.split("\n\n")[0]
+        print("doc         :")
+        for line in first_paragraph.splitlines():
+            print(f"  {line.strip()}")
     return 0
 
 
@@ -176,11 +270,11 @@ def main(argv: list[str] | None = None) -> int:
         and getattr(args, "max_steps", None) is None
     ):
         parser.error("--engine sequential requires a finite --max-steps budget")
-    if args.command == "list":
-        for name in sorted(PROTOCOLS):
-            print(name)
-        return 0
     try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "describe":
+            return _cmd_describe(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "sweep":
@@ -188,8 +282,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "bench":
             return _cmd_bench(args)
     except ReproError as exc:
-        # Expected model/simulation failures (budget exhausted, bad
-        # configuration...) get a clean one-liner, not a traceback.
+        # Expected model/simulation failures (budget exhausted, unknown
+        # protocol spec, bad configuration...) get a clean one-liner, not
+        # a traceback.
         print(f"repro-net: error: {exc}", file=sys.stderr)
         return 1
     return 1  # pragma: no cover - argparse enforces choices

@@ -31,7 +31,7 @@ implementation accepts arbitrary distributions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Mapping
 
 from repro.core.errors import ProtocolError
 

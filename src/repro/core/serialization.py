@@ -143,6 +143,114 @@ def run_result_to_dict(result: RunResult) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Experiment specs and sweep results (repro.analysis.runner)
+# ----------------------------------------------------------------------
+# The runner dataclasses are imported lazily inside each function:
+# analysis.runner imports this module's helpers, so a top-level import
+# here would be circular.
+
+def experiment_spec_to_dict(spec) -> dict:
+    return {
+        "version": 1,
+        "protocol": spec.protocol,
+        "sizes": list(spec.sizes),
+        "trials": spec.trials,
+        "engine": spec.engine,
+        "measure": spec.measure,
+        "seed_policy": spec.seed_policy,
+        "base_seed": spec.base_seed,
+        "max_steps": spec.max_steps,
+        "check_interval": spec.check_interval,
+        "label": spec.label,
+    }
+
+
+def experiment_spec_from_dict(payload: dict):
+    from repro.analysis.runner import ExperimentSpec
+
+    if payload.get("version") != 1:
+        raise SerializationError(
+            f"unsupported experiment spec version {payload.get('version')!r}"
+        )
+    return ExperimentSpec(
+        protocol=payload["protocol"],
+        sizes=tuple(payload["sizes"]),
+        trials=payload["trials"],
+        engine=payload["engine"],
+        measure=payload["measure"],
+        seed_policy=payload["seed_policy"],
+        base_seed=payload["base_seed"],
+        max_steps=payload["max_steps"],
+        check_interval=payload["check_interval"],
+        label=payload.get("label", ""),
+    )
+
+
+def trial_record_to_dict(record) -> dict:
+    return {
+        "n": record.n,
+        "trial": record.trial,
+        "seed": record.seed,
+        "value": record.value,
+        "steps": record.steps,
+        "effective_steps": record.effective_steps,
+        "converged": record.converged,
+        "stop_reason": record.stop_reason,
+        "elapsed_seconds": record.elapsed_seconds,
+    }
+
+
+def trial_record_from_dict(payload: dict):
+    from repro.analysis.runner import TrialRecord
+
+    return TrialRecord(
+        n=payload["n"],
+        trial=payload["trial"],
+        seed=payload["seed"],
+        value=payload["value"],
+        steps=payload["steps"],
+        effective_steps=payload["effective_steps"],
+        converged=payload["converged"],
+        stop_reason=payload["stop_reason"],
+        elapsed_seconds=payload["elapsed_seconds"],
+    )
+
+
+def sweep_result_to_dict(result) -> dict:
+    return {
+        "version": 1,
+        "spec": experiment_spec_to_dict(result.spec),
+        "records": [trial_record_to_dict(r) for r in result.records],
+    }
+
+
+def sweep_result_from_dict(payload: dict):
+    from repro.analysis.runner import SweepResult
+
+    if payload.get("version") != 1:
+        raise SerializationError(
+            f"unsupported sweep result version {payload.get('version')!r}"
+        )
+    return SweepResult(
+        spec=experiment_spec_from_dict(payload["spec"]),
+        records=tuple(
+            trial_record_from_dict(r) for r in payload["records"]
+        ),
+    )
+
+
+def dump_sweep_result(result, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(sweep_result_to_dict(result), handle, indent=2)
+        handle.write("\n")
+
+
+def load_sweep_result(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return sweep_result_from_dict(json.load(handle))
+
+
 def parallel_time(steps: int, n: int) -> float:
     """Convert sequential interaction steps to the paper's parallel-time
     estimate (footnote 5): Θ(n) interactions happen per parallel round in

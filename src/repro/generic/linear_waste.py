@@ -30,6 +30,7 @@ from repro.core.protocol import (
     TableProtocol,
     deterministic,
 )
+from repro.protocols.registry import Param, register_protocol
 
 #: D-node operation codes (what the TM asked for).
 ACTIVATE = "act"
@@ -37,6 +38,10 @@ DEACTIVATE = "deact"
 COIN = "coin"
 
 
+@register_protocol(
+    "ud-partition",
+    description="Theorem 14 step 1: (U, D) maximum matching with roles",
+)
 class UDPartition(TableProtocol):
     """Theorem 14, step one: a maximum matching with role assignment.
 
@@ -69,6 +74,10 @@ class UDPartition(TableProtocol):
         return True
 
 
+@register_protocol(
+    "udm-partition",
+    description="Theorem 15: (U, D, M) partition into qd-qu-qm chains",
+)
 class UDMPartition(TableProtocol):
     """Theorem 15's (U, D, M) partitioning — the exact four rules of the
     paper (Figure 8):
@@ -128,6 +137,11 @@ class UDMPartition(TableProtocol):
         return len(self.triples(config)) >= want - slack
 
 
+@register_protocol(
+    "addressed-edge-ops",
+    params=(Param("k", int, default=2, minimum=2, help="(U, D) pair count"),),
+    description="Figure 6: counter-addressed D-edge ops on k (U, D) pairs",
+)
 class AddressedEdgeOps(Protocol):
     """Figure 6: counter-addressed D-edge reading/writing.
 

@@ -11,8 +11,13 @@ from __future__ import annotations
 
 from repro.core.configuration import Configuration
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    "node-cover",
+    description="Section 3.3 process: every node gains an active edge",
+)
 class NodeCover(TableProtocol):
     """Every node flips to ``b`` upon its first interaction."""
 
@@ -33,6 +38,10 @@ class NodeCover(TableProtocol):
         return config.state_counts().get("a", 0) == 0
 
 
+@register_protocol(
+    "edge-cover",
+    description="Section 3.3 process: every pair activates its edge",
+)
 class EdgeCover(TableProtocol):
     """Every edge activates upon its first selection; stabilizes to the
     complete graph after all m pairs have interacted."""

@@ -11,8 +11,13 @@ from __future__ import annotations
 
 from repro.core.configuration import Configuration
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    "one-to-one-elimination",
+    description="Section 3.3 process: pairwise leader elimination",
+)
 class OneToOneElimination(TableProtocol):
     """All nodes start as ``a``; a single ``a`` survives."""
 
@@ -30,6 +35,10 @@ class OneToOneElimination(TableProtocol):
         return config.state_counts().get("a", 0) == 1
 
 
+@register_protocol(
+    "one-to-all-elimination",
+    description="Section 3.3 process: one survivor eliminates everyone",
+)
 class OneToAllElimination(TableProtocol):
     """All nodes start as ``a``; no ``a`` survives."""
 

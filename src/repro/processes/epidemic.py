@@ -10,8 +10,13 @@ from __future__ import annotations
 
 from repro.core.configuration import Configuration
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    "one-way-epidemic",
+    description="Section 3.3 process: infection spreads in Theta(n log n)",
+)
 class OneWayEpidemic(TableProtocol):
     """Infection spreads one node per effective interaction."""
 

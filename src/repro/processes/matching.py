@@ -10,8 +10,13 @@ from __future__ import annotations
 from repro.core.configuration import Configuration
 from repro.core.graphs import is_perfect_matching
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    "maximum-matching",
+    description="Section 3.3 process: greedy maximum matching",
+)
 class MaximumMatchingProcess(TableProtocol):
     """Pairs of untouched nodes match and leave the pool."""
 

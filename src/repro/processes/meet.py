@@ -9,8 +9,13 @@ from __future__ import annotations
 
 from repro.core.configuration import Configuration
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    "meet-everybody",
+    description="Section 3.3 process: one node meets all others",
+)
 class MeetEverybody(TableProtocol):
     """One collector meets n-1 strangers."""
 

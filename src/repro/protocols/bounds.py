@@ -22,7 +22,6 @@ rather than bare asymptotics, so they are usable as literal floors:
 
 from __future__ import annotations
 
-import math
 
 
 def harmonic(n: int) -> float:

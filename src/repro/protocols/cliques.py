@@ -31,8 +31,15 @@ import networkx as nx
 from repro.core.configuration import Configuration
 from repro.core.errors import ProtocolError
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import Param, register_protocol
 
 
+@register_protocol(
+    "c-cliques",
+    params=(Param("c", int, default=3, minimum=3, help="clique order"),),
+    description="Protocol 8: partition into floor(n/c) cliques, 5c-3 states",
+    shorthand=r"(?P<c>\d+)-cliques",
+)
 class CCliques(TableProtocol):
     """Protocol 8 — *c-Cliques* for constant ``c >= 3``.
 

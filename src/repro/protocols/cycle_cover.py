@@ -11,8 +11,13 @@ from __future__ import annotations
 from repro.core.configuration import Configuration
 from repro.core.graphs import is_cycle_cover
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    "cycle-cover",
+    description="Protocol 3: 3-state cycle cover, Theta(n^2), time-optimal",
+)
 class CycleCover(TableProtocol):
     """Protocol 3 — *Cycle-Cover* (3 states, Θ(n²), time-optimal).
 

@@ -26,8 +26,13 @@ from __future__ import annotations
 from repro.core.configuration import Configuration
 from repro.core.graphs import is_spanning_line
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    "simple-global-line",
+    description="Protocol 1: 5-state spanning line, Omega(n^4)/O(n^5)",
+)
 class SimpleGlobalLine(TableProtocol):
     """Protocol 1 — *Simple-Global-Line*.
 
@@ -67,6 +72,10 @@ class SimpleGlobalLine(TableProtocol):
         return is_spanning_line(config.output_graph())
 
 
+@register_protocol(
+    "fast-global-line",
+    description="Protocol 2: 9-state spanning line, O(n^3)",
+)
 class FastGlobalLine(TableProtocol):
     """Protocol 2 — *Fast-Global-Line* (9 states, O(n³)).
 
@@ -108,6 +117,10 @@ class FastGlobalLine(TableProtocol):
         return is_spanning_line(config.output_graph())
 
 
+@register_protocol(
+    "faster-global-line",
+    description="Protocol 10: 6-state spanning line, conjectured o(n^4)",
+)
 class FasterGlobalLine(TableProtocol):
     """Protocol 10 — *Faster-Global-Line* (6 states, Section 7).
 
@@ -142,6 +155,10 @@ class FasterGlobalLine(TableProtocol):
         return is_spanning_line(config.output_graph())
 
 
+@register_protocol(
+    "leader-driven-line",
+    description="Pre-elected-leader line baseline, Theta(n^2 log n)",
+)
 class LeaderDrivenLine(TableProtocol):
     """The Section 7 baseline: a pre-elected leader ``l`` absorbs free
     nodes one by one — ``(l, q0, 0) -> (q1, l, 1)`` — producing a stable

@@ -1,0 +1,308 @@
+"""Central protocol registry: name -> parameterized protocol spec.
+
+Every runnable protocol registers itself with the
+:func:`register_protocol` class decorator, declaring its canonical name,
+its constructor parameters (:class:`Param`), a one-line description, and
+optionally a *shorthand* regex so compact spec strings like ``3rc`` or
+``4-cliques`` parse into ``(name, params)`` pairs instead of needing
+hand-maintained lambdas.
+
+Spec-string grammar::
+
+    simple-global-line              # bare name, default params
+    k-regular-connected:k=3         # explicit params, comma-separated
+    3rc                             # shorthand (regex with named groups)
+    4-cliques                       # shorthand
+
+Lookup order: exact canonical name or alias first, then shorthand
+patterns.  The registry is populated lazily by importing the protocol
+packages, so ``repro.protocols.registry`` has no import-time dependency
+on the protocol modules themselves.
+
+Typical use::
+
+    from repro.protocols.registry import instantiate, parse_spec
+
+    protocol = instantiate("3-cliques")
+    entry, params = parse_spec("k-regular-connected:k=4")
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.errors import ReproError
+
+
+class RegistryError(ReproError):
+    """Bad registration or failed protocol lookup."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared constructor parameter of a registered protocol."""
+
+    name: str
+    type: type = int
+    default: Any = None
+    minimum: int | None = None
+    help: str = ""
+
+    def coerce(self, raw: Any) -> Any:
+        try:
+            value = self.type(raw)
+        except (TypeError, ValueError):
+            raise RegistryError(
+                f"parameter {self.name!r} expects {self.type.__name__}, "
+                f"got {raw!r}"
+            ) from None
+        if self.minimum is not None and value < self.minimum:
+            raise RegistryError(
+                f"parameter {self.name!r} must be >= {self.minimum}, "
+                f"got {value}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """Registry record for one protocol family."""
+
+    name: str
+    factory: Callable[..., Any]
+    params: tuple[Param, ...] = ()
+    description: str = ""
+    aliases: tuple[str, ...] = ()
+    shorthand: str | None = None
+    _shorthand_re: re.Pattern | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def signature(self) -> str:
+        """Render ``name(k=3)``-style parameter signature for listings."""
+        if not self.params:
+            return self.name
+        inner = ", ".join(
+            f"{p.name}={p.default!r}" if p.default is not None else p.name
+            for p in self.params
+        )
+        return f"{self.name}({inner})"
+
+    def resolve_params(self, given: dict[str, Any]) -> dict[str, Any]:
+        """Validate/coerce ``given`` against the declared params, filling
+        defaults; unknown or missing required parameters raise."""
+        declared = {p.name: p for p in self.params}
+        unknown = set(given) - set(declared)
+        if unknown:
+            raise RegistryError(
+                f"protocol {self.name!r} has no parameter(s) "
+                f"{sorted(unknown)}; declared: {sorted(declared) or 'none'}"
+            )
+        resolved: dict[str, Any] = {}
+        for p in self.params:
+            if p.name in given:
+                resolved[p.name] = p.coerce(given[p.name])
+            elif p.default is not None:
+                resolved[p.name] = p.default
+            else:
+                raise RegistryError(
+                    f"protocol {self.name!r} requires parameter {p.name!r}"
+                )
+        return resolved
+
+    def instantiate(self, **params: Any):
+        return self.factory(**self.resolve_params(params))
+
+
+#: canonical name -> entry (single source of truth).
+_REGISTRY: dict[str, ProtocolEntry] = {}
+#: alias -> canonical name.
+_ALIASES: dict[str, str] = {}
+
+#: Modules whose import populates the registry.  Kept as dotted names so
+#: this module never imports protocol code at load time (the protocol
+#: modules import *us* for the decorator).
+_PROTOCOL_MODULES = (
+    "repro.protocols",
+    "repro.generic.linear_waste",
+    "repro.processes",
+)
+
+_populated = False
+
+
+def register_protocol(
+    name: str,
+    *,
+    params: tuple[Param, ...] = (),
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+    shorthand: str | None = None,
+):
+    """Class decorator: register ``cls`` under ``name`` in the global
+    protocol registry.
+
+    ``shorthand`` is a full-match regex whose named groups are parameter
+    values (e.g. ``r"(?P<k>\\d+)rc"`` lets ``3rc`` parse as ``k=3``).
+    Duplicate canonical names, aliases, or alias/name collisions raise
+    :class:`RegistryError` at import time.
+    """
+
+    def decorate(cls):
+        entry = ProtocolEntry(
+            name=name,
+            factory=cls,
+            params=params,
+            description=description,
+            aliases=aliases,
+            shorthand=shorthand,
+            _shorthand_re=re.compile(shorthand) if shorthand else None,
+        )
+        _add_entry(entry)
+        return cls
+
+    return decorate
+
+
+def _add_entry(entry: ProtocolEntry) -> None:
+    if entry.name in _REGISTRY or entry.name in _ALIASES:
+        raise RegistryError(f"protocol name {entry.name!r} already registered")
+    for alias in entry.aliases:
+        if alias in _REGISTRY or alias in _ALIASES:
+            raise RegistryError(f"protocol alias {alias!r} already registered")
+    _REGISTRY[entry.name] = entry
+    for alias in entry.aliases:
+        _ALIASES[alias] = entry.name
+
+
+def ensure_populated() -> None:
+    """Import the protocol packages so their decorators run.
+
+    The flag is only set once every import succeeded, so a failing
+    protocol module keeps raising its real ImportError on every lookup
+    instead of leaving a silently half-populated registry.
+    """
+    global _populated
+    if _populated:
+        return
+    for module in _PROTOCOL_MODULES:
+        importlib.import_module(module)
+    _populated = True
+
+
+def available() -> list[ProtocolEntry]:
+    """All registered entries, sorted by canonical name."""
+    ensure_populated()
+    return sorted(_REGISTRY.values(), key=lambda e: e.name)
+
+
+def names() -> list[str]:
+    """All canonical names, sorted."""
+    return [entry.name for entry in available()]
+
+
+def get(name: str) -> ProtocolEntry:
+    """Exact lookup by canonical name or alias."""
+    ensure_populated()
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _REGISTRY[canonical]
+    except KeyError:
+        raise RegistryError(
+            f"unknown protocol {name!r}; choose from {', '.join(names())}"
+        ) from None
+
+
+def parse_spec(spec: str) -> tuple[ProtocolEntry, dict[str, Any]]:
+    """Parse a spec string into ``(entry, resolved params)``.
+
+    Accepts ``name``, ``name:k=3,c=2``, or any registered shorthand
+    (``3rc``, ``4-cliques``).  Exact names/aliases win over shorthands.
+    """
+    ensure_populated()
+    name, _, paramtext = spec.partition(":")
+    name = name.strip()
+    given: dict[str, Any] = {}
+    if paramtext:
+        for item in paramtext.split(","):
+            key, eq, value = item.partition("=")
+            if not eq or not key.strip() or not value.strip():
+                raise RegistryError(
+                    f"malformed parameter {item!r} in spec {spec!r} "
+                    "(expected key=value)"
+                )
+            given[key.strip()] = value.strip()
+    canonical = _ALIASES.get(name, name)
+    if canonical in _REGISTRY:
+        entry = _REGISTRY[canonical]
+        return entry, entry.resolve_params(given)
+    if not paramtext:
+        for entry in _REGISTRY.values():
+            if entry._shorthand_re is None:
+                continue
+            match = entry._shorthand_re.fullmatch(name)
+            if match:
+                return entry, entry.resolve_params(match.groupdict())
+    raise RegistryError(
+        f"unknown protocol spec {spec!r}; choose from {', '.join(names())} "
+        "(shorthands like '3rc' or '4-cliques' also work)"
+    )
+
+
+def _format_spec(entry: ProtocolEntry, params: dict[str, Any]) -> str:
+    if not params:
+        return entry.name
+    inner = ",".join(f"{k}={params[k]}" for k in sorted(params))
+    return f"{entry.name}:{inner}"
+
+
+def canonical_spec(spec: str) -> str:
+    """Normalize a spec string to ``name`` / ``name:k=3`` form.
+
+    Stable across shorthand spellings (``3rc`` and
+    ``k-regular-connected:k=3`` normalize identically), so it is the right
+    key for seed derivation and serialized experiment specs.
+    """
+    entry, params = parse_spec(spec)
+    return _format_spec(entry, params)
+
+
+def name_for_factory(factory: Any) -> str | None:
+    """Canonical name of a registered *parameterless* factory class.
+
+    Returns ``None`` for unregistered callables and for parameterized
+    entries (a bare class does not pin its parameters down).
+    """
+    ensure_populated()
+    for entry in _REGISTRY.values():
+        if factory is entry.factory and not entry.params:
+            return entry.name
+    return None
+
+
+def spec_for(protocol: Any) -> str | None:
+    """Canonical spec string of an instantiated protocol, or ``None``.
+
+    Reverse lookup by exact class; parameter values are read back off the
+    instance (registered classes store each declared param as an
+    attribute of the same name).  Lets factory-based callers share seed
+    derivation with spec-based ones.
+    """
+    ensure_populated()
+    for entry in _REGISTRY.values():
+        if type(protocol) is entry.factory:
+            params = {
+                p.name: getattr(protocol, p.name) for p in entry.params
+            }
+            return _format_spec(entry, params)
+    return None
+
+
+def instantiate(spec: str, **overrides: Any):
+    """Build a protocol instance from a spec string (plus overrides)."""
+    entry, params = parse_spec(spec)
+    params.update(overrides)
+    return entry.instantiate(**params)

@@ -17,8 +17,15 @@ from repro.core.configuration import Configuration
 from repro.core.errors import ProtocolError
 from repro.core.graphs import is_almost_k_regular_connected
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import Param, register_protocol
 
 
+@register_protocol(
+    "k-regular-connected",
+    params=(Param("k", int, default=3, minimum=2, help="target degree"),),
+    description="Protocol 7: almost-k-regular connected spanning network",
+    shorthand=r"(?P<k>\d+)rc",
+)
 class KRegularConnected(TableProtocol):
     """Protocol 7 — *kRC* with parametric degree ``k >= 2``.
 
@@ -116,6 +123,11 @@ class KRegularConnected(TableProtocol):
         return is_almost_k_regular_connected(config.output_graph(), self.k)
 
 
+@register_protocol(
+    "neighbor-doubling",
+    params=(Param("d", int, default=3, minimum=1, help="doubling exponent"),),
+    description="Section 5: center acquires 2^d neighbors with Theta(d) states",
+)
 class NeighborDoubling(TableProtocol):
     """Section 5's doubling trick: a designated node obtains exactly
     ``2**d`` neighbors using Θ(d) states.

@@ -18,8 +18,13 @@ from __future__ import annotations
 from repro.core.configuration import Configuration
 from repro.core.graphs import is_spanning_ring
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    "global-ring",
+    description="Protocol 5: 10-state spanning ring (with the journal fix)",
+)
 class GlobalRing(TableProtocol):
     """Protocol 5 — *Global-Ring* (10 states).
 
@@ -91,6 +96,11 @@ class GlobalRing(TableProtocol):
         return is_spanning_ring(config.output_graph())
 
 
+@register_protocol(
+    "2rc",
+    description="Protocol 6: 6-state spanning ring via leader-carrying cycles",
+    aliases=("two-regular-connected",),
+)
 class TwoRegularConnected(TableProtocol):
     """Protocol 6 — *2RC*: the generic-approach spanning ring (6 states).
 

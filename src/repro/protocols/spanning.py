@@ -12,8 +12,13 @@ from __future__ import annotations
 from repro.core.configuration import Configuration
 from repro.core.graphs import is_spanning_network
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    "spanning-network",
+    description="Theorem 1: 2-state spanning network, Theta(n log n), optimal",
+)
 class SpanningNetwork(TableProtocol):
     """Theorem 1's matching upper bound: ``(a,a,0) -> (b,b,1)`` and
     ``(a,b,0) -> (b,b,1)``.  Every node is converted from ``a`` to ``b``

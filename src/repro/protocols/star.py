@@ -10,8 +10,13 @@ from __future__ import annotations
 from repro.core.configuration import Configuration
 from repro.core.graphs import is_spanning_star
 from repro.core.protocol import TableProtocol
+from repro.protocols.registry import register_protocol
 
 
+@register_protocol(
+    "global-star",
+    description="Protocol 4: 2-state spanning star, Theta(n^2 log n), optimal",
+)
 class GlobalStar(TableProtocol):
     """Protocol 4 — *Global-Star*.
 

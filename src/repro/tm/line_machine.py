@@ -29,7 +29,7 @@ from repro.core.configuration import Configuration
 from repro.core.errors import MachineError, SimulationError
 from repro.core.graphs import line_components
 from repro.core.protocol import Distribution, Protocol, State, deterministic
-from repro.tm.machine import LEFT, RIGHT, STAY, TMResult, TuringMachine
+from repro.tm.machine import RIGHT, STAY, TMResult, TuringMachine
 
 #: kind component
 END = "end"

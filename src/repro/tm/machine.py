@@ -10,7 +10,7 @@ and cell-by-cell on a line of agents
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.core.errors import MachineError

@@ -14,7 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.configuration import Configuration
-from repro.core.protocol import Outcome, TableProtocol
+from repro.core.protocol import TableProtocol
 from repro.core.simulator import AgitatedSimulator, apply_interaction
 
 STATES = ["s0", "s1", "s2"]

@@ -1,0 +1,138 @@
+"""Tests for the central protocol registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols import CCliques, KRegularConnected, SimpleGlobalLine
+from repro.protocols import registry
+from repro.protocols.registry import Param, RegistryError, register_protocol
+
+
+class TestLookup:
+    def test_paper_protocols_registered(self):
+        names = registry.names()
+        for expected in (
+            "simple-global-line", "fast-global-line", "faster-global-line",
+            "cycle-cover", "global-star", "global-ring", "2rc",
+            "k-regular-connected", "c-cliques", "spanning-network",
+            "ud-partition", "udm-partition", "one-way-epidemic",
+        ):
+            assert expected in names
+
+    def test_get_by_name_and_alias(self):
+        assert registry.get("2rc") is registry.get("two-regular-connected")
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(RegistryError, match="global-star"):
+            registry.get("not-a-protocol")
+
+    def test_entries_have_descriptions(self):
+        for entry in registry.available():
+            assert entry.description, entry.name
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        entry, params = registry.parse_spec("global-star")
+        assert entry.name == "global-star" and params == {}
+
+    def test_shorthand_krc(self):
+        entry, params = registry.parse_spec("3rc")
+        assert entry.name == "k-regular-connected"
+        assert params == {"k": 3}
+
+    def test_shorthand_cliques(self):
+        entry, params = registry.parse_spec("4-cliques")
+        assert entry.name == "c-cliques"
+        assert params == {"c": 4}
+
+    def test_exact_name_beats_shorthand(self):
+        # "2rc" is the dedicated 6-state protocol, not KRegularConnected(2).
+        entry, _ = registry.parse_spec("2rc")
+        assert entry.factory is not KRegularConnected
+
+    def test_explicit_params(self):
+        entry, params = registry.parse_spec("k-regular-connected:k=5")
+        assert params == {"k": 5}
+
+    def test_canonical_spec_stable_across_spellings(self):
+        assert (
+            registry.canonical_spec("3rc")
+            == registry.canonical_spec("k-regular-connected:k=3")
+            == "k-regular-connected:k=3"
+        )
+
+    def test_malformed_params_rejected(self):
+        with pytest.raises(RegistryError, match="key=value"):
+            registry.parse_spec("c-cliques:c")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(RegistryError, match="no parameter"):
+            registry.parse_spec("c-cliques:q=3")
+
+    def test_param_minimum_enforced(self):
+        with pytest.raises(RegistryError, match=">= 3"):
+            registry.parse_spec("c-cliques:c=2")
+
+    def test_param_type_enforced(self):
+        with pytest.raises(RegistryError, match="expects int"):
+            registry.parse_spec("c-cliques:c=three")
+
+    def test_unknown_spec_mentions_shorthands(self):
+        with pytest.raises(RegistryError, match="3rc"):
+            registry.parse_spec("5cliques")
+
+
+class TestInstantiate:
+    def test_instantiate_with_defaults(self):
+        protocol = registry.instantiate("c-cliques")
+        assert isinstance(protocol, CCliques) and protocol.c == 3
+
+    def test_instantiate_shorthand(self):
+        protocol = registry.instantiate("4rc")
+        assert isinstance(protocol, KRegularConnected) and protocol.k == 4
+
+    def test_missing_required_param_raises(self):
+        entry = registry.ProtocolEntry(
+            name="x", factory=object, params=(Param("k", int),)
+        )
+        with pytest.raises(RegistryError, match="requires parameter"):
+            entry.resolve_params({})
+
+
+class TestReverseLookup:
+    def test_spec_for_plain_protocol(self):
+        assert registry.spec_for(SimpleGlobalLine()) == "simple-global-line"
+
+    def test_spec_for_parameterized_protocol(self):
+        assert registry.spec_for(CCliques(4)) == "c-cliques:c=4"
+
+    def test_spec_for_unregistered_is_none(self):
+        assert registry.spec_for(object()) is None
+
+    def test_name_for_factory(self):
+        assert registry.name_for_factory(SimpleGlobalLine) == "simple-global-line"
+        # Parameterized classes are ambiguous as bare factories.
+        assert registry.name_for_factory(CCliques) is None
+        assert registry.name_for_factory(lambda: None) is None
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            register_protocol("global-star")(object)
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            register_protocol("fresh-name", aliases=("2rc",))(object)
+
+    def test_all_registered_protocols_instantiate(self):
+        for entry in registry.available():
+            protocol = entry.instantiate()
+            assert protocol.name, entry.name
+            size = getattr(protocol, "size", None)
+            if size is not None:
+                # Edge-Cover is the 1-state degenerate process; everything
+                # else needs at least 2 states.
+                assert size >= 1, entry.name

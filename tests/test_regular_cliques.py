@@ -8,7 +8,6 @@ import pytest
 
 from repro.core.errors import ProtocolError
 from repro.core.graphs import is_almost_k_regular_connected, is_spanning_ring
-from repro.core.simulator import AgitatedSimulator
 from repro.protocols import CCliques, KRegularConnected, NeighborDoubling
 from tests.conftest import converge
 

@@ -3,11 +3,9 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.configuration import Configuration
 from repro.core.graphs import is_spanning_ring
-from repro.core.simulator import AgitatedSimulator, run_to_convergence
+from repro.core.simulator import AgitatedSimulator
 from repro.protocols import GlobalRing, TwoRegularConnected
 from tests.conftest import converge, converge_sequential, fair_schedulers
 

@@ -1,0 +1,177 @@
+"""Tests for the declarative experiment layer (specs, Runner, executors,
+seed policies, serialization)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import measure_convergence, run_trials
+from repro.analysis.runner import (
+    EXECUTORS,
+    SEED_POLICIES,
+    ExperimentError,
+    ExperimentSpec,
+    Runner,
+    SweepResult,
+    TrialSpec,
+    run_trial,
+    summarize,
+)
+from repro.core.serialization import (
+    dump_sweep_result,
+    experiment_spec_from_dict,
+    experiment_spec_to_dict,
+    load_sweep_result,
+)
+from repro.core.simulator import make_engine
+from repro.protocols import CycleCover
+
+SMALL_SPEC = ExperimentSpec(
+    protocol="cycle-cover", sizes=(6, 8), trials=3,
+)
+
+
+class TestExperimentSpec:
+    def test_protocol_canonicalized(self):
+        spec = ExperimentSpec(protocol="3rc", sizes=(8,), trials=1)
+        assert spec.protocol == "k-regular-connected:k=3"
+
+    def test_canonical_specs_compare_equal(self):
+        a = ExperimentSpec(protocol="4-cliques", sizes=(8,), trials=1)
+        b = ExperimentSpec(protocol="c-cliques:c=4", sizes=(8,), trials=1)
+        assert a == b
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(Exception, match="unknown protocol"):
+            ExperimentSpec(protocol="nope", sizes=(8,), trials=1)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(sizes=(), trials=1), "at least one"),
+            (dict(sizes=(8,), trials=0), "trials"),
+            (dict(sizes=(8,), trials=1, engine="warp"), "unknown engine"),
+            (dict(sizes=(8,), trials=1, measure="vibes"), "unknown measure"),
+            (dict(sizes=(8,), trials=1, seed_policy="dice"), "seed policy"),
+            (dict(sizes=(8,), trials=1, engine="sequential"), "max_steps"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ExperimentError, match=match):
+            ExperimentSpec(protocol="global-star", **kwargs)
+
+    def test_expand_covers_grid(self):
+        trials = SMALL_SPEC.expand()
+        assert [(t.n, t.trial) for t in trials] == [
+            (6, 0), (6, 1), (6, 2), (8, 0), (8, 1), (8, 2),
+        ]
+
+    def test_hashed_seeds_decorrelate_sizes(self):
+        by_n = {}
+        for t in SMALL_SPEC.expand():
+            by_n.setdefault(t.n, []).append(t.seed)
+        assert set(by_n[6]).isdisjoint(by_n[8])
+
+    def test_legacy_seeds_reproduce_seed_era_scheme(self):
+        spec = ExperimentSpec(
+            protocol="cycle-cover", sizes=(6, 8), trials=3,
+            seed_policy="legacy", base_seed=7,
+        )
+        for t in spec.expand():
+            assert t.seed == 7 + t.trial
+
+    def test_hashed_seeds_deterministic(self):
+        assert [t.seed for t in SMALL_SPEC.expand()] == [
+            t.seed for t in SMALL_SPEC.expand()
+        ]
+
+
+class TestSerialization:
+    def test_spec_json_round_trip(self):
+        payload = json.loads(json.dumps(experiment_spec_to_dict(SMALL_SPEC)))
+        assert experiment_spec_from_dict(payload) == SMALL_SPEC
+
+    def test_sweep_result_json_round_trip(self):
+        result = Runner().run(SMALL_SPEC)
+        clone = SweepResult.from_json(result.to_json())
+        assert clone == result
+
+    def test_sweep_result_file_round_trip(self, tmp_path):
+        result = Runner().run(SMALL_SPEC)
+        path = str(tmp_path / "sweep.json")
+        dump_sweep_result(result, path)
+        assert load_sweep_result(path) == result
+
+    def test_summaries_match_summarize(self):
+        result = Runner().run(SMALL_SPEC)
+        summaries = result.summaries()
+        for n in SMALL_SPEC.sizes:
+            assert summaries[n] == summarize(n, result.times(n))
+
+
+class TestExecutors:
+    def test_registry_names(self):
+        assert set(EXECUTORS) == {"serial", "process"}
+        assert set(SEED_POLICIES) == {"hashed", "legacy"}
+
+    def test_serial_and_process_identical(self):
+        serial = Runner(jobs=1).run(SMALL_SPEC)
+        parallel = Runner(jobs=2).run(SMALL_SPEC)
+        assert [r.deterministic() for r in serial.records] == [
+            r.deterministic() for r in parallel.records
+        ]
+
+    def test_explicit_process_executor_at_one_job(self):
+        serial = Runner(executor="serial").run(SMALL_SPEC)
+        process = Runner(executor="process", jobs=2).run(SMALL_SPEC)
+        assert [r.deterministic() for r in serial.records] == [
+            r.deterministic() for r in process.records
+        ]
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown executor"):
+            Runner(executor="quantum").run(SMALL_SPEC)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ExperimentError, match="jobs"):
+            Runner(jobs=0, executor="process").run(SMALL_SPEC)
+
+    def test_run_trial_matches_direct_engine_run(self):
+        trial = TrialSpec(protocol="cycle-cover", n=8, trial=0, seed=42)
+        record = run_trial(trial)
+        result = make_engine("indexed", seed=42).run(CycleCover(), 8, None)
+        assert record.value == result.last_output_change_step
+        assert record.steps == result.steps
+        assert record.converged
+
+
+class TestCompatibilityShims:
+    def test_run_trials_legacy_seeds_bit_identical(self):
+        """The factory shim with the legacy policy reproduces the exact
+        seed-era per-trial runs (seed = base_seed + trial)."""
+        times = run_trials(CycleCover, 8, 4, base_seed=3)
+        expected = []
+        for trial in range(4):
+            result = make_engine("indexed", seed=3 + trial).run(
+                CycleCover(), 8, None
+            )
+            expected.append(result.last_output_change_step)
+        assert times == expected
+
+    def test_run_trials_accepts_spec_strings(self):
+        assert run_trials("cycle-cover", 8, 3) == run_trials(CycleCover, 8, 3)
+
+    def test_measure_convergence_matches_runner(self):
+        sweep = measure_convergence("cycle-cover", [6, 8], 3)
+        runner_summaries = Runner().run(SMALL_SPEC).summaries()
+        assert sweep == runner_summaries
+
+    def test_measure_convergence_legacy_policy_available(self):
+        sweep = measure_convergence(
+            CycleCover, [6, 8], 3, seed_policy="legacy"
+        )
+        assert sweep[6].trials == 3
+        # Legacy cells share seeds; each cell matches a legacy run_trials.
+        assert sweep[8] == summarize(8, run_trials(CycleCover, 8, 3))

@@ -3,8 +3,6 @@
 
 from __future__ import annotations
 
-import networkx as nx
-
 from repro.core.graphs import is_cycle_cover, is_spanning_network, is_spanning_star
 from repro.core.simulator import AgitatedSimulator
 from repro.core.trace import Trace

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import PROTOCOLS, main
+from repro.cli import main
+from repro.protocols import registry
 from repro.core.configuration import Configuration
 from repro.core.trace import Trace
 from repro.viz import (
@@ -71,15 +72,34 @@ class TestDot:
 
 
 class TestCli:
-    def test_list_command(self, capsys):
+    def test_list_command_renders_registry(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "global-star" in out
+        # Descriptions and parameter signatures come from the registry.
+        assert "Theta(n^2 log n)" in out
+        assert "c-cliques(c=3)" in out
+
+    def test_describe_command(self, capsys):
+        assert main(["describe", "k-regular-connected"]) == 0
+        out = capsys.readouterr().out
+        assert "k: int = 3" in out
+        assert "states      : 8" in out
+
+    def test_describe_unknown_protocol_fails_cleanly(self, capsys):
+        assert main(["describe", "warp-drive"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown protocol" in err
 
     def test_run_command(self, capsys):
         assert main(["run", "global-star", "-n", "8", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "target reached: True" in out
+
+    def test_run_accepts_shorthand_spec(self, capsys):
+        assert main(["run", "3-cliques", "-n", "9", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "3-Cliques" in out
 
     def test_sweep_command(self, capsys):
         assert main(
@@ -88,7 +108,21 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fit:" in out
 
-    def test_all_registered_protocols_run(self):
-        for name, factory in PROTOCOLS.items():
-            protocol = factory()
-            assert protocol.size >= 2, name
+    def test_sweep_jobs_and_out(self, capsys, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        assert main(
+            [
+                "sweep", "cycle-cover", "--sizes", "8,12", "--trials", "2",
+                "--jobs", "2", "--out", str(out_path),
+            ]
+        ) == 0
+        from repro.core.serialization import load_sweep_result
+
+        result = load_sweep_result(str(out_path))
+        assert result.spec.protocol == "cycle-cover"
+        assert len(result.records) == 4
+
+    def test_all_registered_protocols_instantiate(self):
+        for entry in registry.available():
+            protocol = entry.instantiate()
+            assert protocol.name, entry.name
