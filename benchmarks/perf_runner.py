@@ -19,9 +19,12 @@ or run the same workload via ``python -m repro.cli bench --runner``.
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 
 from repro.analysis.bench import bench_runner, format_bench_runner
+from repro.analysis.runner import ExperimentSpec, Runner
+from repro.core.scenario import Scenario
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
 
@@ -61,5 +64,28 @@ def test_perf_runner():
         )
 
 
+def test_scenario_survives_process_executor():
+    """Executor equivalence under a *non-default* scenario: the Scenario
+    (scheduler spec, fault specs, init spec) must survive the process
+    executor's pickling round-trip and reroute every worker to the same
+    supporting engine."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        spec = ExperimentSpec(
+            protocol="cycle-cover", sizes=(8, 10), trials=4,
+            max_steps=500_000,
+            scenario=Scenario(
+                scheduler="round-robin", faults=("crash:count=1,at=0",),
+            ),
+        )
+        serial = Runner(jobs=1).run(spec)
+        parallel = Runner(executor="process", jobs=2).run(spec)
+    assert [r.deterministic() for r in serial.records] == [
+        r.deterministic() for r in parallel.records
+    ], "scenario trials diverged between the serial and process executors"
+    assert all(r.converged for r in serial.records)
+
+
 if __name__ == "__main__":
     test_perf_runner()
+    test_scenario_survives_process_executor()

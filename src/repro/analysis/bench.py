@@ -214,6 +214,8 @@ def bench_runner(
     jobs: int | None = None,
     base_seed: int = 0,
     out: str | None = None,
+    scenario=None,
+    max_steps: int | None = None,
 ) -> dict:
     """Time one sweep spec under the serial and process executors.
 
@@ -221,13 +223,22 @@ def bench_runner(
     records up to wall-clock timing) and records the parallel speedup
     together with the host's core count — the speedup is only meaningful
     relative to ``cpu_count``.
+
+    ``scenario`` (a :class:`repro.core.scenario.Scenario`) selects the
+    environment; it is recorded in the benchmark payload so robustness
+    benchmarks stay distinguishable from uniform-scheduler runs.
     """
+    from repro.core.scenario import DEFAULT_SCENARIO
+
+    scenario = scenario or DEFAULT_SCENARIO
     spec = ExperimentSpec(
         protocol=protocol,
         sizes=sizes,
         trials=trials,
         base_seed=base_seed,
+        max_steps=max_steps,
         label="figure2-line-sweep",
+        scenario=scenario,
     )
     cpu_count = os.cpu_count() or 1
     if jobs is None:
@@ -250,6 +261,9 @@ def bench_runner(
         "platform": platform.platform(),
         "cpu_count": cpu_count,
         "jobs": jobs,
+        # The scenario rides inside the spec payload (spec["scenario"]),
+        # so robustness benchmarks stay distinguishable from
+        # uniform-scheduler runs without a second copy to drift.
         "spec": spec.to_dict(),
         "trial_count": len(serial.records),
         "serial_seconds": serial_seconds,
@@ -271,10 +285,17 @@ def bench_runner(
 def format_bench_runner(record: dict) -> str:
     """Human-readable summary of a :func:`bench_runner` record."""
     spec = record["spec"]
+    scenario = spec.get("scenario") or {}
+    scenario_line = scenario.get("scheduler", "uniform")
+    if scenario.get("faults"):
+        scenario_line += f" faults={';'.join(scenario['faults'])}"
+    if scenario.get("init"):
+        scenario_line += f" init={scenario['init']}"
     return "\n".join(
         [
             f"sweep          : {spec['protocol']} "
             f"sizes={spec['sizes']} trials={spec['trials']}",
+            f"scenario       : {scenario_line}",
             f"trials total   : {record['trial_count']}",
             f"serial         : {record['serial_seconds']:.2f} s",
             f"process x{record['jobs']:<4}  : "

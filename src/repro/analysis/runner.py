@@ -50,6 +50,12 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.errors import ReproError
 from repro.core.protocol import Protocol
+from repro.core.scenario import (
+    DEFAULT_SCENARIO,
+    Scenario,
+    make_scenario_engine,
+    resolve_engine,
+)
 from repro.core.simulator import ENGINES, RunResult, make_engine
 from repro.protocols import registry
 
@@ -142,6 +148,18 @@ class ExperimentSpec:
     ``protocol`` is a registry spec string (``"simple-global-line"``,
     ``"3rc"``, ``"c-cliques:c=4"``); it is canonicalized on construction
     so equal experiments compare (and hash, and serialize) equal.
+
+    ``scenario`` bundles the environment axes — scheduler, fault
+    injection, initial configuration (see :mod:`repro.core.scenario`).
+    The default scenario is exactly the pre-scenario behavior, so specs
+    that never mention it produce bit-identical records.  A scenario the
+    requested ``engine`` cannot run routes every trial to the
+    ``sequential`` reference engine, which needs a finite ``max_steps``
+    budget — validated here, at spec construction.
+
+    Per-trial seeds are derived from ``(base_seed, protocol, n, trial)``
+    only: the same trial under different scenarios sees the same
+    randomness, so scenario sweeps are paired experiments.
     """
 
     protocol: str
@@ -154,12 +172,19 @@ class ExperimentSpec:
     max_steps: int | None = None
     check_interval: int = 1
     label: str = ""
+    scenario: Scenario = DEFAULT_SCENARIO
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "protocol", registry.canonical_spec(self.protocol)
         )
         object.__setattr__(self, "sizes", tuple(int(n) for n in self.sizes))
+        if isinstance(self.scenario, dict):
+            object.__setattr__(
+                self, "scenario", Scenario.from_dict(self.scenario)
+            )
+        elif self.scenario is None:
+            object.__setattr__(self, "scenario", DEFAULT_SCENARIO)
         if not self.sizes:
             raise ExperimentError("spec needs at least one population size")
         if self.trials < 1:
@@ -178,10 +203,23 @@ class ExperimentSpec:
                 f"unknown seed policy {self.seed_policy!r}; "
                 f"choose from {sorted(SEED_POLICIES)}"
             )
-        if self.engine == "sequential" and self.max_steps is None:
-            raise ExperimentError(
-                "the sequential engine needs a finite max_steps budget"
-            )
+        if self.max_steps is None:
+            if self.resolved_engine() == "sequential":
+                raise ExperimentError(
+                    "the sequential engine walks every scheduler pick and "
+                    "needs a finite max_steps budget (non-uniform "
+                    "schedulers route to it)"
+                )
+            if self.scenario.has_unbounded_faults:
+                raise ExperimentError(
+                    "sustained fault models (edge-drop) may perturb the "
+                    "run forever; set a finite max_steps budget"
+                )
+
+    def resolved_engine(self) -> str:
+        """The engine that will actually run this spec's scenario (the
+        requested one, or the ``sequential`` fallback)."""
+        return resolve_engine(self.engine, self.scenario, warn=False)
 
     def expand(self) -> list[TrialSpec]:
         """The independent trials of this sweep, in (n, trial) order."""
@@ -196,6 +234,7 @@ class ExperimentSpec:
                 measure=self.measure,
                 max_steps=self.max_steps,
                 check_interval=self.check_interval,
+                scenario=self.scenario,
             )
             for n in self.sizes
             for trial in range(self.trials)
@@ -230,6 +269,7 @@ class TrialSpec:
     measure: str = "output"
     max_steps: int | None = None
     check_interval: int = 1
+    scenario: Scenario = DEFAULT_SCENARIO
 
 
 @dataclass(frozen=True)
@@ -307,22 +347,35 @@ def run_one(
     measure: str = "output",
     max_steps: int | None = None,
     check_interval: int = 1,
+    scenario: Scenario | None = None,
 ) -> TrialRecord:
     """Run one already-instantiated protocol and record the outcome.
 
     The single trial-execution code path: the Runner's executors and the
     legacy factory-based :func:`repro.analysis.experiments.run_trials`
-    both end up here.
+    both end up here.  The default scenario takes exactly the
+    pre-scenario path (bit-identical records); non-default scenarios
+    resolve the engine through ``supports(scenario)`` and never raise on
+    budget exhaustion — the record says ``converged=False`` instead.
     """
     read = MEASURES[measure]
-    sim = make_engine(engine, seed=seed)
+    if scenario is None or scenario.is_default:
+        sim = make_engine(engine, seed=seed)
+        config = None
+        require_convergence = max_steps is not None
+    else:
+        engine = resolve_engine(engine, scenario, warn=False)
+        sim = make_scenario_engine(engine, seed, scenario)
+        config = scenario.build_initial(protocol, n)
+        require_convergence = False
     start = time.perf_counter()
     result = sim.run(
         protocol,
         n,
         max_steps,
+        config=config,
         check_interval=check_interval,
-        require_convergence=max_steps is not None,
+        require_convergence=require_convergence,
     )
     elapsed = time.perf_counter() - start
     return TrialRecord(
@@ -350,6 +403,7 @@ def run_trial(trial: TrialSpec) -> TrialRecord:
         measure=trial.measure,
         max_steps=trial.max_steps,
         check_interval=trial.check_interval,
+        scenario=trial.scenario,
     )
 
 
@@ -411,6 +465,9 @@ class Runner:
             raise ExperimentError(
                 f"unknown executor {name!r}; choose from {sorted(EXECUTORS)}"
             ) from None
+        # Surface scenario-driven engine rerouting once per sweep (the
+        # per-trial resolution itself is silent).
+        resolve_engine(spec.engine, spec.scenario, warn=True)
         trials = spec.expand()
         records = execute(trials, self.jobs)
         return SweepResult(spec=spec, records=tuple(records))

@@ -12,15 +12,23 @@ Sweep sizes in parallel and persist the per-trial records::
     repro-net sweep cycle-cover --sizes 20,40,80 --trials 10 --jobs 4 \\
         --out sweep.json
 
+Run under a non-default scenario — scheduler, fault injection, initial
+configuration (see ``docs/experiments.md``)::
+
+    repro-net sweep simple-global-line --scheduler round-robin --jobs 2
+    repro-net run simple-global-line -n 20 --faults crash:count=2,at=0
+    repro-net run cycle-cover -n 12 --init graph:graph=path-6
+
 Time the simulation engines (or the parallel executors) against each
 other::
 
     repro-net bench --out BENCH_engines.json
     repro-net bench --runner --out BENCH_runner.json
 
-List everything the protocol registry knows::
+List everything the registries know::
 
     repro-net list
+    repro-net list --schedulers --faults --inits
     repro-net describe k-regular-connected
 """
 
@@ -44,10 +52,36 @@ from repro.analysis.runner import (
     Runner,
 )
 from repro.core.errors import ReproError
+from repro.core.faults import FAULTS, survivors
+from repro.core.scenario import INITS, Scenario, resolve_engine
+from repro.core.scheduler import SCHEDULERS
 from repro.core.serialization import dump_sweep_result
 from repro.core.simulator import ENGINES, run_to_convergence
 from repro.protocols import registry
 from repro.viz import component_summary, state_summary
+
+#: Step budget substituted when a scenario routes to the sequential
+#: engine (or injects unbounded faults) and the user gave no --max-steps.
+DEFAULT_SCENARIO_BUDGET = 10_000_000
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    """The three environment axes, shared by ``run`` and ``sweep``."""
+    parser.add_argument(
+        "--scheduler", default="uniform", metavar="SPEC",
+        help="scheduler spec ('uniform', 'round-robin', "
+        "'laggard:bias=0.9,lagged=0..4'; see 'list --schedulers')",
+    )
+    parser.add_argument(
+        "--faults", action="append", default=None, metavar="SPEC",
+        help="fault model spec, repeatable ('crash:count=2,at=0', "
+        "'edge-drop:rate=0.001'; see 'list --faults')",
+    )
+    parser.add_argument(
+        "--init", default="", metavar="SPEC",
+        help="initial-configuration override ('doped:state=l', "
+        "'graph:graph=ring-8'; see 'list --inits')",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -73,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", choices=sorted(ENGINES), default="indexed",
         help="simulation engine (default: indexed)",
     )
+    _add_scenario_arguments(run_p)
 
     sweep_p = sub.add_parser("sweep", help="measure convergence across sizes")
     sweep_p.add_argument("protocol", help="registry spec (see 'run')")
@@ -106,6 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="write the full SweepResult as JSON ('-' for stdout)",
     )
+    _add_scenario_arguments(sweep_p)
 
     bench_p = sub.add_parser(
         "bench", help="time engines (default) or parallel executors"
@@ -132,7 +168,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "BENCH_engines.json, or BENCH_runner.json with --runner)",
     )
 
-    sub.add_parser("list", help="list all registered protocols")
+    list_p = sub.add_parser(
+        "list", help="list registered protocols (or other registries)"
+    )
+    list_p.add_argument(
+        "--schedulers", action="store_true",
+        help="list the scheduler registry instead",
+    )
+    list_p.add_argument(
+        "--faults", action="store_true",
+        help="list the fault-model registry instead",
+    )
+    list_p.add_argument(
+        "--inits", action="store_true",
+        help="list the initial-configuration registry instead",
+    )
 
     describe_p = sub.add_parser(
         "describe", help="show one protocol's registry entry in full"
@@ -141,18 +191,56 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    """Build (and thereby validate) the Scenario named by the CLI flags."""
+    return Scenario(
+        scheduler=args.scheduler,
+        faults=tuple(args.faults or ()),
+        init=args.init,
+    )
+
+
+def _apply_scenario_defaults(
+    args: argparse.Namespace, scenario: Scenario
+) -> None:
+    """Resolve the engine for ``scenario`` and default the step budget
+    when the resolved path needs one (sequential fallback, sustained
+    faults), announcing both decisions."""
+    resolved = resolve_engine(args.engine, scenario, warn=False)
+    if resolved != args.engine:
+        print(
+            f"note: engine {args.engine!r} does not support this scenario; "
+            f"using {resolved!r}"
+        )
+        args.engine = resolved
+    if args.max_steps is None and (
+        resolved == "sequential" or scenario.has_unbounded_faults
+    ):
+        args.max_steps = DEFAULT_SCENARIO_BUDGET
+        print(f"note: defaulting --max-steps to {DEFAULT_SCENARIO_BUDGET}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     protocol = registry.instantiate(args.protocol)
+    scenario = _scenario_from_args(args)
+    if not scenario.is_default:
+        _apply_scenario_defaults(args, scenario)
     result = run_to_convergence(
         protocol, args.n, seed=args.seed, max_steps=args.max_steps,
-        engine=args.engine,
+        engine=args.engine, scenario=scenario,
     )
+    alive = survivors(result.config)
     print(f"protocol      : {protocol.name}")
     print(f"population    : {args.n}")
+    if not scenario.is_default:
+        print(f"scenario      : {scenario.describe()}")
+        print(f"engine        : {args.engine}")
     print(f"converged     : {result.converged} ({result.stop_reason})")
     print(f"steps         : {result.steps}")
     print(f"effective     : {result.effective_steps}")
     print(f"convergence t : {result.convergence_time}")
+    if len(alive) < args.n:
+        print(f"survivors     : {len(alive)} of {args.n}")
     print(f"target reached: {protocol.target_reached(result.config)}")
     print(f"states        : {state_summary(result.config)}")
     print("components    :")
@@ -161,6 +249,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    if not scenario.is_default:
+        _apply_scenario_defaults(args, scenario)
     spec = ExperimentSpec(
         protocol=args.protocol,
         sizes=tuple(int(s) for s in args.sizes.split(",")),
@@ -170,7 +261,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed_policy=args.seed_policy,
         base_seed=args.seed,
         max_steps=args.max_steps,
+        scenario=scenario,
     )
+    if not scenario.is_default:
+        print(f"scenario: {scenario.describe()} (engine: {args.engine})\n")
     result = Runner(jobs=args.jobs).run(spec)
     summaries = result.summaries()
     print(f"{'n':>6} {'mean':>12} {'±95%':>10} {'min':>10} {'max':>10}")
@@ -217,11 +311,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_list() -> int:
-    entries = registry.available()
+def _print_registry_table(entries, title: str | None = None) -> None:
+    indent = "  " if title else ""
+    if title:
+        print(f"{title}:")
     width = max(len(e.signature()) for e in entries)
     for entry in entries:
-        print(f"{entry.signature():<{width}}  {entry.description}")
+        line = f"{indent}{entry.signature():<{width}}  {entry.description}"
+        if entry.aliases:
+            line += f" (aliases: {', '.join(entry.aliases)})"
+        print(line)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    extra = args.schedulers or args.faults or args.inits
+    if args.schedulers:
+        _print_registry_table(SCHEDULERS.available(), "schedulers")
+    if args.faults:
+        _print_registry_table(FAULTS.available(), "fault models")
+    if args.inits:
+        _print_registry_table(INITS.available(), "initial configurations")
+    if not extra:
+        _print_registry_table(registry.available())
     return 0
 
 
@@ -268,11 +379,16 @@ def main(argv: list[str] | None = None) -> int:
     if (
         getattr(args, "engine", None) == "sequential"
         and getattr(args, "max_steps", None) is None
+        and getattr(args, "scheduler", "uniform") == "uniform"
+        and not getattr(args, "faults", None)
+        and not getattr(args, "init", "")
     ):
+        # Scenario runs default their own budget; an explicitly requested
+        # sequential engine without one is still a usage error.
         parser.error("--engine sequential requires a finite --max-steps budget")
     try:
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args)
         if args.command == "describe":
             return _cmd_describe(args)
         if args.command == "run":

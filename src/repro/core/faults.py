@@ -1,0 +1,321 @@
+"""Fault injection — the adversarial environment axis of a scenario.
+
+Models the *Fault Tolerant Network Constructors* setting (Michail,
+Spirakis & Theofilatos 2019) on top of the PODC 2014 model: between
+scheduler picks the adversary may **crash-stop** nodes (a crashed node
+stops interacting forever and its incident edges are removed from the
+configuration) and **delete edges** — either a one-shot scheduled cut of
+specific edges or a sustained deletion rate.
+
+Every fault model registers itself in :data:`FAULTS` (a
+:class:`~repro.core.params.SpecRegistry`); spec strings are the
+``faults`` axis of a :class:`~repro.core.scenario.Scenario`::
+
+    crash:at=1000,count=2        # crash 2 uniformly-chosen nodes at step 1000
+    cut:at=500,edges=0-1+2-3     # adversarially cut specific edges at step 500
+    edge-drop:rate=0.0001        # each step w.p. rate delete one random edge
+
+Execution model
+---------------
+A :class:`FaultModel` is a serializable description; :meth:`compile`
+binds it to a population size and a dedicated random stream (derived
+from the trial seed, so fault randomness never perturbs the scheduler's
+stream) producing a :class:`FaultPlan`.  Plans are *step-indexed*:
+``next_step`` names the next step at which something fires and
+``actions_at`` yields concrete :class:`FaultAction` s for that step, so
+the event-driven engines can cap their geometric skips at the next
+fault event instead of walking every step.  A fault scheduled at step
+``f`` is applied after the scheduler's pick number ``f`` and before
+pick ``f + 1`` (``at=0`` fires before the first pick).
+
+Crashed nodes keep their slot in the :class:`Configuration` but move to
+the :data:`DEAD` sentinel state — no protocol rule mentions it, so
+certificate predicates that count protocol states simply no longer see
+the crashed node.  Engines additionally remove dead nodes from their
+candidate-pair structures: scheduler steps count picks among *alive*
+pairs only, identically in all engines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.errors import SimulationError
+from repro.core.params import (
+    Param,
+    SpecRegistry,
+    format_pair_list,
+    pair_list,
+)
+
+#: Sentinel state of a crashed node.  Not a member of any protocol's
+#: state set, so every rule lookup involving it is an ineffective
+#: identity and state-counting certificates ignore the node.
+DEAD = "__dead__"
+
+#: Global fault-model registry: name -> parameterized fault spec.
+FAULTS = SpecRegistry("fault model")
+
+
+def register_fault(
+    name: str,
+    *,
+    params: tuple[Param, ...] = (),
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+):
+    """Class decorator: register a :class:`FaultModel` in :data:`FAULTS`."""
+    return FAULTS.register(
+        name, params=params, description=description, aliases=aliases
+    )
+
+
+def survivors(config: Configuration) -> list[int]:
+    """Nodes that have not crashed (state is not :data:`DEAD`)."""
+    return [u for u in range(config.n) if config.state(u) != DEAD]
+
+
+def probability(raw) -> float:
+    value = float(raw)
+    if not 0.0 < value < 1.0:
+        raise ValueError(f"rate must be in (0, 1), got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One concrete adversarial act, resolved to nodes/edges.
+
+    ``kind`` is ``"crash"`` (crash-stop every node in ``nodes``) or
+    ``"cut"`` (deactivate every edge in ``edges``).  Engines apply
+    actions through their own mutation paths so indexes stay coherent.
+    """
+
+    step: int
+    kind: str
+    nodes: tuple[int, ...] = ()
+    edges: tuple[tuple[int, int], ...] = ()
+
+
+class FaultPlan:
+    """A fault model bound to one run: a step-indexed event stream."""
+
+    #: Last step at which a *scheduled one-shot* event fires (``-1``
+    #: when the plan has none).  Engines refuse to declare stabilization
+    #: before the horizon has passed, so a certificate holding at step
+    #: 100 does not end a run whose crash is scheduled for step 10_000.
+    horizon: int = -1
+
+    def next_step(self, after: int) -> int | None:
+        """The next step strictly greater than ``after`` at which this
+        plan fires, or ``None`` when nothing is left."""
+        raise NotImplementedError
+
+    def actions_at(
+        self, step: int, config: Configuration, alive: list[int]
+    ) -> list[FaultAction]:
+        """Concrete actions firing at ``step`` (may be empty — e.g. a
+        deletion attempt finding no active edge)."""
+        raise NotImplementedError
+
+
+class FaultModel:
+    """Base class for registered fault models (pure descriptions)."""
+
+    #: True when every event of the model is a scheduled one-shot (the
+    #: plan's event stream is finite).  Sustained models (edge-drop)
+    #: set this False; runs with them need a finite step budget.
+    bounded = True
+
+    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+        """Bind the model to a population size and a random stream."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Concrete models
+# ----------------------------------------------------------------------
+
+@register_fault(
+    "crash",
+    params=(
+        Param("count", int, default=1, minimum=1,
+              help="how many nodes crash"),
+        Param("at", int, default=0, minimum=0,
+              help="scheduler step at which they crash"),
+    ),
+    aliases=("crash-stop",),
+    description="crash-stop `count` uniformly-chosen nodes at step `at`",
+)
+class CrashFaults(FaultModel):
+    """At step ``at``, crash ``count`` nodes chosen uniformly among the
+    still-alive population (fewer if not enough survive)."""
+
+    def __init__(self, count: int = 1, at: int = 0) -> None:
+        if count < 1:
+            raise SimulationError(f"crash count must be >= 1, got {count}")
+        if at < 0:
+            raise SimulationError(f"crash step must be >= 0, got {at}")
+        self.count = count
+        self.at = at
+
+    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+        return _OneShotPlan(self.at, "crash", self.count, (), rng)
+
+
+@register_fault(
+    "cut",
+    params=(
+        Param("edges", pair_list, format=format_pair_list,
+              help="edges to deactivate, e.g. 0-1+2-3"),
+        Param("at", int, default=0, minimum=0,
+              help="scheduler step at which the cut happens"),
+    ),
+    aliases=("edge-cut",),
+    description="one-shot adversarial cut of specific edges at step `at`",
+)
+class EdgeCutFaults(FaultModel):
+    """At step ``at``, deactivate each listed edge (no-ops for edges
+    that are not active at that moment)."""
+
+    def __init__(self, edges, at: int = 0) -> None:
+        try:
+            self.edges = pair_list(edges)
+        except (ValueError, TypeError) as exc:
+            raise SimulationError(f"bad edge cut: {exc}") from None
+        if at < 0:
+            raise SimulationError(f"cut step must be >= 0, got {at}")
+        self.at = at
+
+    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+        for u, v in self.edges:
+            if u >= n or v >= n:
+                raise SimulationError(
+                    f"cut edge {(u, v)} out of range for n={n}"
+                )
+        return _OneShotPlan(self.at, "cut", 0, self.edges, rng)
+
+
+class _OneShotPlan(FaultPlan):
+    """Shared plan for the scheduled one-shot models (crash / cut)."""
+
+    def __init__(self, at, kind, count, edges, rng):
+        self.at = at
+        self.kind = kind
+        self.count = count
+        self.edges = edges
+        self.rng = rng
+        self.horizon = at
+
+    def next_step(self, after: int) -> int | None:
+        return self.at if after < self.at else None
+
+    def actions_at(self, step, config, alive):
+        if step != self.at:
+            return []
+        if self.kind == "crash":
+            victims = self.rng.sample(sorted(alive), min(self.count, len(alive)))
+            return [FaultAction(step, "crash", nodes=tuple(sorted(victims)))]
+        return [FaultAction(step, "cut", edges=self.edges)]
+
+
+@register_fault(
+    "edge-drop",
+    params=(
+        Param("rate", probability, default=None,
+              help="per-step probability of one deletion attempt"),
+    ),
+    aliases=("edge-deletion",),
+    description="each step w.p. `rate` delete one uniform active edge",
+)
+class EdgeDropFaults(FaultModel):
+    """Sustained random edge deletion: at every scheduler step, with
+    probability ``rate``, one uniformly-chosen active edge is
+    deactivated.  Attempt times are geometric, hence step-indexed, so
+    the skip-ahead engines handle this model exactly."""
+
+    bounded = False
+
+    def __init__(self, rate: float) -> None:
+        try:
+            self.rate = probability(rate)
+        except (TypeError, ValueError) as exc:
+            raise SimulationError(str(exc)) from None
+
+    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+        return _DropPlan(self.rate, rng)
+
+
+class _DropPlan(FaultPlan):
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        self.rate = rate
+        self.rng = rng
+        self._next = self._gap(0)
+
+    def _gap(self, after: int) -> int:
+        u = self.rng.random()
+        return after + 1 + int(math.log(1.0 - u) / math.log(1.0 - self.rate))
+
+    def next_step(self, after: int) -> int | None:
+        while self._next <= after:
+            self._next = self._gap(self._next)
+        return self._next
+
+    def actions_at(self, step, config, alive):
+        if step != self._next:
+            return []
+        active = sorted(config.active_edges())
+        if not active:
+            return []
+        u, v = active[self.rng.randrange(len(active))]
+        return [FaultAction(step, "cut", edges=((u, v),))]
+
+
+class CompositeFaultPlan(FaultPlan):
+    """Merge several plans into one step-indexed event stream."""
+
+    def __init__(self, plans: list[FaultPlan]) -> None:
+        self.plans = plans
+        self.horizon = max(plan.horizon for plan in plans)
+
+    def next_step(self, after: int) -> int | None:
+        steps = [
+            s for s in (plan.next_step(after) for plan in self.plans)
+            if s is not None
+        ]
+        return min(steps) if steps else None
+
+    def actions_at(self, step, config, alive):
+        actions: list[FaultAction] = []
+        for plan in self.plans:
+            actions.extend(plan.actions_at(step, config, alive))
+        return actions
+
+
+# ----------------------------------------------------------------------
+# Engine-facing entry point
+# ----------------------------------------------------------------------
+
+def _fault_seed(seed: int | None) -> int | None:
+    """Derive the fault stream's seed from the trial seed (stable across
+    processes; independent of the scheduler/interaction stream)."""
+    if seed is None:
+        return None
+    digest = hashlib.sha256(f"faults|{seed}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def compile_fault_plan(
+    models: tuple[FaultModel, ...], n: int, seed: int | None
+) -> FaultPlan | None:
+    """Compile an engine's fault models into one plan (``None`` when the
+    scenario has no faults — the hot loops skip all fault bookkeeping)."""
+    if not models:
+        return None
+    rng = random.Random(_fault_seed(seed))
+    plans = [model.compile(n, rng) for model in models]
+    return plans[0] if len(plans) == 1 else CompositeFaultPlan(plans)

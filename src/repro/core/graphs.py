@@ -1,16 +1,99 @@
-"""Graph predicates for the paper's target constructions — Section 3.2.
+"""Graph predicates and named generators — Section 3.2 targets.
 
 All predicates operate on :class:`networkx.Graph` outputs of
 :meth:`repro.core.configuration.Configuration.output_graph`, so they apply
 uniformly to full configurations and to induced subgraphs (useful-space
 checks for constructions with waste).
+
+:func:`named_graph` is the inverse direction: compact names like
+``"ring-16"`` or ``"clique-5"`` build the corresponding graph, so
+graph-valued registry parameters (``"graph-replication:graph=ring-16"``)
+and initial-configuration overrides (``"graph:graph=path-8"``) stay
+plain strings that round-trip through JSON.
 """
 
 from __future__ import annotations
 
+import random
+import re
 from collections import Counter
 
 import networkx as nx
+
+#: named-graph families: canonical family -> (aliases, builder(k)).
+_GRAPH_FAMILIES: dict = {
+    "ring": (("cycle",), nx.cycle_graph),
+    "path": (("line",), nx.path_graph),
+    "star": ((), lambda k: nx.star_graph(k - 1)),
+    "clique": (("complete",), nx.complete_graph),
+}
+
+_GRAPH_ALIASES = {
+    alias: family
+    for family, (aliases, _) in _GRAPH_FAMILIES.items()
+    for alias in aliases
+}
+
+_NAMED_GRAPH_RE = re.compile(r"(?P<family>[a-z]+)-(?P<k>\d+)")
+_GNP_RE = re.compile(r"gnp-(?P<k>\d+)-(?P<seed>\d+)")
+
+
+_GRAPH_MINIMUM = {"ring": 3, "star": 2, "path": 1, "clique": 1}
+
+
+def _parse_graph_name(name: str) -> tuple[str, int, int | None]:
+    """Validate a named-graph spec *syntactically* (no construction) and
+    return ``(canonical family, k, gnp seed or None)``."""
+    text = str(name).strip().lower()
+    match = _GNP_RE.fullmatch(text)
+    if match:
+        return "gnp", int(match["k"]), int(match["seed"])
+    match = _NAMED_GRAPH_RE.fullmatch(text)
+    if match is None:
+        raise ValueError(
+            f"unknown graph name {name!r} (expected e.g. ring-16, path-8, "
+            "star-5, clique-4, gnp-8-42)"
+        )
+    family = _GRAPH_ALIASES.get(match["family"], match["family"])
+    if family not in _GRAPH_FAMILIES:
+        raise ValueError(
+            f"unknown graph family {match['family']!r} in {name!r}; "
+            f"choose from {sorted(_GRAPH_FAMILIES) + sorted(_GRAPH_ALIASES)}"
+        )
+    k = int(match["k"])
+    minimum = _GRAPH_MINIMUM[family]
+    if k < minimum:
+        raise ValueError(f"{family} graphs need >= {minimum} nodes, got {k}")
+    return family, k, None
+
+
+def graph_spec(raw) -> str:
+    """Coerce/canonicalize a named-graph spec string (registry param
+    type).  Validation is syntactic — the graph itself is only built by
+    :func:`named_graph` when a run needs it."""
+    family, k, seed = _parse_graph_name(raw)
+    if family == "gnp":
+        return f"gnp-{k}-{seed}"
+    return f"{family}-{k}"
+
+
+def named_graph(name: str) -> nx.Graph:
+    """Build a graph from a compact name.
+
+    Families: ``ring-<k>`` (alias ``cycle``, k >= 3), ``path-<k>``
+    (alias ``line``), ``star-<k>`` (k nodes total, k >= 2),
+    ``clique-<k>`` (alias ``complete``), and ``gnp-<k>-<seed>`` — one
+    seeded draw from G(k, 1/2) (may be disconnected; constructions that
+    need connectivity will reject it).  Raises :class:`ValueError` for
+    unknown names, so registry param coercion reports a clean error.
+    """
+    family, k, seed = _parse_graph_name(name)
+    if family == "gnp":
+        # Lazy import: generic/ sits above core/ in the layering.
+        from repro.generic.random_graphs import gnp
+
+        return gnp(k, 0.5, random.Random(seed))
+    return _GRAPH_FAMILIES[family][1](k)
 
 
 def degree_histogram(graph: nx.Graph) -> Counter:

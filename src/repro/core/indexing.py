@@ -133,6 +133,16 @@ class PairClassIndex:
             del self.nodes[old]
         self.add_node(u, new)
 
+    def remove_node(self, u: int, state: int) -> None:
+        """Drop ``u`` from the census entirely (crash-stop faults): the
+        node stops contributing candidate pairs of any class."""
+        bucket = self.nodes.get(state)
+        if bucket is None:
+            return
+        bucket.discard(u)
+        if not bucket:
+            del self.nodes[state]
+
     def add_edge(self, u: int, v: int, su: int, sv: int) -> None:
         key = (su, sv) if su <= sv else (sv, su)
         bucket = self.edges.get(key)

@@ -8,8 +8,24 @@ infinitely often.  Running times are always measured under the
 independently and uniformly at random (fair with probability 1).
 
 The other schedulers here are fair-by-construction or fair-with-probability-1
-adversaries used by the test suite to exercise correctness claims, which in
-the paper hold under *every* fair schedule.
+adversaries used to exercise correctness claims, which in the paper hold
+under *every* fair schedule.
+
+Scheduler registry
+------------------
+Every scheduler registers itself in :data:`SCHEDULERS` (a
+:class:`~repro.core.params.SpecRegistry`) via :func:`register_scheduler`,
+mirroring the protocol registry: spec strings like ``"uniform"``,
+``"round-robin"`` or ``"laggard:bias=0.9,lagged=0..4"`` name a
+parameterized scheduler, round-trip through JSON (they are plain
+strings) and are the ``scheduler`` axis of a
+:class:`~repro.core.scenario.Scenario`::
+
+    from repro.core.scheduler import SCHEDULERS
+
+    SCHEDULERS.instantiate("laggard:bias=0.9,lagged=0..4")
+    SCHEDULERS.canonical("rr")          # -> "round-robin"
+    SCHEDULERS.names()                  # all registered schedulers
 """
 
 from __future__ import annotations
@@ -19,6 +35,45 @@ import random
 from typing import Iterator
 
 from repro.core.errors import SimulationError
+from repro.core.params import (
+    Param,
+    SpecRegistry,
+    format_node_set,
+    format_pair_list,
+    node_set,
+    pair_list,
+)
+
+#: Global scheduler registry: name -> parameterized scheduler spec.
+SCHEDULERS = SpecRegistry("scheduler")
+
+
+def register_scheduler(
+    name: str,
+    *,
+    params: tuple[Param, ...] = (),
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+):
+    """Class decorator: register a :class:`Scheduler` under ``name`` in
+    :data:`SCHEDULERS` (mirrors ``@register_protocol``)."""
+    return SCHEDULERS.register(
+        name, params=params, description=description, aliases=aliases
+    )
+
+
+def uniform_pairs(n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
+    """The uniform random pair stream: each step one of the ``n(n-1)/2``
+    pairs, independently and uniformly.  Module-level so schedulers that
+    fall back to uniform picks share one stream instead of constructing
+    throwaway :class:`UniformRandomScheduler` objects."""
+    randrange = rng.randrange
+    while True:
+        u = randrange(n)
+        v = randrange(n - 1)
+        if v >= u:
+            v += 1
+        yield (u, v)
 
 
 class Scheduler:
@@ -38,6 +93,11 @@ class Scheduler:
             raise SimulationError(f"need at least 2 nodes to interact, got {n}")
 
 
+@register_scheduler(
+    "uniform",
+    aliases=("uniform-random", "random"),
+    description="paper timing model: i.i.d. uniform pair per step",
+)
 class UniformRandomScheduler(Scheduler):
     """The paper's timing model: each step selects one of the
     ``n(n-1)/2`` pairs independently and uniformly at random."""
@@ -46,15 +106,14 @@ class UniformRandomScheduler(Scheduler):
 
     def pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
         self._check(n)
-        randrange = rng.randrange
-        while True:
-            u = randrange(n)
-            v = randrange(n - 1)
-            if v >= u:
-                v += 1
-            yield (u, v)
+        return uniform_pairs(n, rng)
 
 
+@register_scheduler(
+    "round-robin",
+    aliases=("rr",),
+    description="deterministic fair sweeps: every pair once per n(n-1)/2 steps",
+)
 class RoundRobinScheduler(Scheduler):
     """Deterministic fair scheduler: sweeps a permutation of all pairs,
     reshuffling between sweeps.  Every pair occurs once per ``n(n-1)/2``
@@ -62,12 +121,32 @@ class RoundRobinScheduler(Scheduler):
 
     def pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
         self._check(n)
+        return self._pairs(n, rng)
+
+    @staticmethod
+    def _pairs(n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
         all_pairs = list(itertools.combinations(range(n), 2))
         while True:
             rng.shuffle(all_pairs)
             yield from all_pairs
 
 
+@register_scheduler(
+    "laggard",
+    aliases=("adversarial-laggard",),
+    params=(
+        Param(
+            "bias", float, default=0.9,
+            help="probability of re-drawing a pair touching a lagged node",
+        ),
+        Param(
+            "lagged", node_set, default=frozenset({0}),
+            format=format_node_set,
+            help="starved node set, e.g. 0..4 or 0..2+9",
+        ),
+    ),
+    description="biased-but-fair adversary starving the lagged node set",
+)
 class AdversarialLaggardScheduler(Scheduler):
     """A biased-but-fair adversary: interactions involving nodes in the
     *lagged* set are selected with probability reduced by ``bias``.
@@ -78,34 +157,74 @@ class AdversarialLaggardScheduler(Scheduler):
     fair with probability 1 — a legitimate adversary for correctness tests.
     """
 
-    def __init__(self, lagged: frozenset[int] | set[int], bias: float = 0.9):
+    def __init__(
+        self,
+        lagged: frozenset[int] | set[int] = frozenset({0}),
+        bias: float = 0.9,
+    ):
         if not 0 <= bias < 1:
             raise SimulationError(f"bias must be in [0, 1), got {bias}")
-        self.lagged = frozenset(lagged)
+        try:
+            self.lagged = node_set(lagged)
+        except ValueError as exc:
+            raise SimulationError(f"bad lagged set: {exc}") from None
         self.bias = bias
 
     def pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
         self._check(n)
-        uniform = UniformRandomScheduler().pairs(n, rng)
-        for u, v in uniform:
-            if (u in self.lagged or v in self.lagged) and rng.random() < self.bias:
-                yield next(uniform)
+        if max(self.lagged) >= n:
+            raise SimulationError(
+                f"lagged nodes {format_node_set(self.lagged)} out of range "
+                f"for n={n}"
+            )
+        return self._pairs(n, rng)
+
+    def _pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
+        stream = uniform_pairs(n, rng)
+        lagged = self.lagged
+        bias = self.bias
+        for u, v in stream:
+            if (u in lagged or v in lagged) and rng.random() < bias:
+                yield next(stream)
             else:
                 yield (u, v)
 
 
+@register_scheduler(
+    "scripted",
+    params=(
+        Param(
+            "script", pair_list, format=format_pair_list,
+            help="fixed pair prefix, e.g. 0-1+1-2",
+        ),
+    ),
+    description="replays a fixed pair script, then uniform random",
+)
 class ScriptedScheduler(Scheduler):
     """Replays a fixed finite script of pairs, then falls back to a uniform
     random stream (so infinite executions remain fair).  Used by unit tests
-    that need precise control over the interaction order."""
+    that need precise control over the interaction order.
 
-    def __init__(self, script: list[tuple[int, int]]):
-        self.script = list(script)
+    The script is validated eagerly: self-loops and negative ids fail at
+    construction, out-of-range ids fail when :meth:`pairs` binds the
+    population size — never mid-run.
+    """
+
+    def __init__(self, script):
+        try:
+            self.script = pair_list(script)
+        except (ValueError, TypeError) as exc:
+            raise SimulationError(f"bad script: {exc}") from None
 
     def pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
         self._check(n)
         for u, v in self.script:
-            if not (0 <= u < n and 0 <= v < n) or u == v:
-                raise SimulationError(f"scripted pair {(u, v)} invalid for n={n}")
-            yield (u, v)
-        yield from UniformRandomScheduler().pairs(n, rng)
+            if u >= n or v >= n:
+                raise SimulationError(
+                    f"scripted pair {(u, v)} invalid for n={n}"
+                )
+        return self._pairs(n, rng)
+
+    def _pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
+        yield from self.script
+        yield from uniform_pairs(n, rng)

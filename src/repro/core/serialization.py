@@ -150,6 +150,30 @@ def run_result_to_dict(result: RunResult) -> dict:
 # analysis.runner imports this module's helpers, so a top-level import
 # here would be circular.
 
+def scenario_to_dict(scenario) -> dict:
+    """Serialize a :class:`repro.core.scenario.Scenario` — every axis is
+    already a canonical registry spec string."""
+    return {
+        "scheduler": scenario.scheduler,
+        "faults": list(scenario.faults),
+        "init": scenario.init,
+    }
+
+
+def scenario_from_dict(payload: dict | None):
+    """Inverse of :func:`scenario_to_dict`; ``None`` (e.g. a spec payload
+    predating the scenario axis) decodes to the default scenario."""
+    from repro.core.scenario import DEFAULT_SCENARIO, Scenario
+
+    if payload is None:
+        return DEFAULT_SCENARIO
+    return Scenario(
+        scheduler=payload.get("scheduler", "uniform"),
+        faults=tuple(payload.get("faults", ())),
+        init=payload.get("init", ""),
+    )
+
+
 def experiment_spec_to_dict(spec) -> dict:
     return {
         "version": 1,
@@ -163,6 +187,7 @@ def experiment_spec_to_dict(spec) -> dict:
         "max_steps": spec.max_steps,
         "check_interval": spec.check_interval,
         "label": spec.label,
+        "scenario": scenario_to_dict(spec.scenario),
     }
 
 
@@ -184,6 +209,7 @@ def experiment_spec_from_dict(payload: dict):
         max_steps=payload["max_steps"],
         check_interval=payload["check_interval"],
         label=payload.get("label", ""),
+        scenario=scenario_from_dict(payload.get("scenario")),
     )
 
 

@@ -34,6 +34,24 @@ Use the :data:`ENGINES` registry (``"sequential"``, ``"agitated"``,
 ``"indexed"``) to select an engine by name in CLIs and experiment
 runners.  All engines measure the paper's convergence time: the last step
 at which the output graph changed (``RunResult.convergence_time``).
+
+Scenario support
+----------------
+Engines are *capability-aware*: each class declares ``supports(scenario)``
+(see :mod:`repro.core.scenario`).  The event-driven engines require the
+uniform random scheduler — their geometric skips encode its law — while
+the sequential engine drives any registered scheduler.  All three apply
+**fault injection** between scheduler picks: every engine accepts a
+``faults`` tuple of :class:`~repro.core.faults.FaultModel` s, compiled
+per run into a step-indexed :class:`~repro.core.faults.FaultPlan`.  The
+event-driven engines cap their geometric skips at the plan's next event,
+so fault timing is exact without walking the skipped steps.  Crashed
+nodes move to the :data:`~repro.core.faults.DEAD` sentinel state, lose
+their edges, and leave the candidate-pair census; scheduler steps count
+picks among *alive* pairs only, identically in all engines.  A fault
+that changes the configuration counts as an output-graph change (it
+removes nodes or active edges), so ``convergence_time`` measures the
+*restabilization* time of the surviving population.
 """
 
 from __future__ import annotations
@@ -45,6 +63,7 @@ from typing import Callable
 
 from repro.core.configuration import Configuration
 from repro.core.errors import ConvergenceError, SimulationError
+from repro.core.faults import DEAD, FaultModel, compile_fault_plan
 from repro.core.indexing import IndexedSet, PairClassIndex
 from repro.core.protocol import Protocol, resolve, sample_outcome
 from repro.core.scheduler import Scheduler, UniformRandomScheduler
@@ -187,15 +206,25 @@ class SequentialSimulator:
         Any fair scheduler; defaults to the uniform random scheduler.
     seed:
         Seed for the engine-owned :class:`random.Random`.
+    faults:
+        Fault models applied between scheduler picks (compiled per run).
     """
 
     def __init__(
         self,
         scheduler: Scheduler | None = None,
         seed: int | None = None,
+        faults: tuple[FaultModel, ...] = (),
     ) -> None:
         self.scheduler = scheduler or UniformRandomScheduler()
         self.seed = seed
+        self.faults = tuple(faults)
+
+    @classmethod
+    def supports(cls, scenario) -> bool:
+        """The reference engine drives every scenario (it walks each
+        scheduler pick), at the price of a finite ``max_steps`` budget."""
+        return True
 
     def run(
         self,
@@ -237,26 +266,89 @@ class SequentialSimulator:
         last_change = 0
         last_output_change = 0
         since_check = 0
-        if stabilized(cfg):
+
+        plan = compile_fault_plan(self.faults, n, self.seed)
+        dead: set[int] = set()
+        fault_next = plan.next_step(-1) if plan is not None else None
+        horizon = plan.horizon if plan is not None else -1
+
+        def apply_fault_actions(at: int) -> bool:
+            changed = False
+            alive = [u for u in range(n) if u not in dead]
+            for action in plan.actions_at(at, cfg, alive):
+                if action.kind == "crash":
+                    for w in action.nodes:
+                        if w in dead:
+                            continue
+                        for x in list(cfg.neighbors(w)):
+                            cfg.set_edge(w, x, 0)
+                        cfg.set_state(w, DEAD)
+                        dead.add(w)
+                        changed = True
+                else:
+                    for a, b in action.edges:
+                        if a in dead or b in dead:
+                            continue
+                        if cfg.edge_state(a, b):
+                            cfg.set_edge(a, b, 0)
+                            changed = True
+            return changed
+
+        # Faults due before the first pick (at=0 crashes etc.).
+        while fault_next is not None and fault_next <= 0:
+            apply_fault_actions(fault_next)
+            fault_next = plan.next_step(fault_next)
+
+        if stabilized(cfg) and steps >= horizon:
             return RunResult(True, 0, 0, 0, 0, cfg, "stabilized", trace)
         for u, v in pair_stream:
             if steps >= max_steps:
                 break
+            if dead:
+                if n - len(dead) < 2:
+                    return RunResult(
+                        True, steps, effective, last_change,
+                        last_output_change, cfg, "quiescent", trace,
+                    )
+                if u in dead or v in dead:
+                    # Crashed nodes left the interaction graph: this pick
+                    # is redrawn without counting a step, so the clock
+                    # counts picks among alive pairs only — as in every
+                    # engine.
+                    continue
             steps += 1
             result = apply_interaction(protocol, cfg, u, v, rng, steps)
-            if not result.changed:
-                continue
-            effective += 1
-            last_change = steps
-            assert result.event is not None
-            if _output_affected(protocol, result, result.event):
-                last_output_change = steps
-            if trace is not None:
-                trace.record(result.event, cfg)
-            since_check += 1
+            if result.changed:
+                effective += 1
+                last_change = steps
+                assert result.event is not None
+                if _output_affected(protocol, result, result.event):
+                    last_output_change = steps
+                if trace is not None:
+                    trace.record(result.event, cfg)
+                since_check += 1
+            if fault_next is not None and fault_next <= steps:
+                fault_changed = False
+                while fault_next is not None and fault_next <= steps:
+                    fault_changed |= apply_fault_actions(fault_next)
+                    fault_next = plan.next_step(fault_next)
+                if fault_changed:
+                    last_change = steps
+                    last_output_change = steps
+                # Re-check even for a no-op fault: the certificate may
+                # have held for a while, suppressed only by the horizon
+                # gate, and no further effective step may come to
+                # re-trigger the since_check path.
+                if steps >= horizon and stabilized(cfg):
+                    return RunResult(
+                        True, steps, effective, last_change,
+                        last_output_change, cfg, "stabilized", trace,
+                    )
             if since_check >= check_interval:
                 since_check = 0
-                if stabilized(cfg):
+                if stabilized(cfg) and steps >= horizon and (
+                    fault_next is None or fault_next > steps
+                ):
                     return RunResult(
                         True, steps, effective, last_change,
                         last_output_change, cfg, "stabilized", trace,
@@ -287,8 +379,20 @@ class AgitatedSimulator:
     its effective picks.
     """
 
-    def __init__(self, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        seed: int | None = None,
+        faults: tuple[FaultModel, ...] = (),
+    ) -> None:
         self.seed = seed
+        self.faults = tuple(faults)
+
+    @classmethod
+    def supports(cls, scenario) -> bool:
+        """Event-driven: requires the uniform random scheduler (the
+        geometric skip encodes its law); faults and initial-configuration
+        overrides are fine."""
+        return scenario.uses_uniform_scheduler
 
     def run(
         self,
@@ -326,16 +430,55 @@ class AgitatedSimulator:
                 if is_effective(su, state(v), edge_state(u, v)):
                     effective_pairs.add((u, v))
 
+        plan = compile_fault_plan(self.faults, n, self.seed)
+        dead: set[int] = set()
+        fault_next = plan.next_step(-1) if plan is not None else None
+        horizon = plan.horizon if plan is not None else -1
+
         def refresh_node(w: int) -> None:
             sw = state(w)
             for x in range(n):
-                if x == w:
+                if x == w or (dead and x in dead):
                     continue
                 pair = (w, x) if w < x else (x, w)
                 if is_effective(sw, state(x), edge_state(w, x)):
                     effective_pairs.add(pair)
                 else:
                     effective_pairs.discard(pair)
+
+        def apply_fault_actions(at: int) -> bool:
+            nonlocal m
+            changed = False
+            alive = [u for u in range(n) if u not in dead]
+            for action in plan.actions_at(at, cfg, alive):
+                if action.kind == "crash":
+                    for w in action.nodes:
+                        if w in dead:
+                            continue
+                        for x in list(cfg.neighbors(w)):
+                            cfg.set_edge(w, x, 0)
+                        for x in range(n):
+                            if x != w:
+                                effective_pairs.discard(
+                                    (w, x) if w < x else (x, w)
+                                )
+                        cfg.set_state(w, DEAD)
+                        dead.add(w)
+                        changed = True
+                else:
+                    for a, b in action.edges:
+                        if a in dead or b in dead or not edge_state(a, b):
+                            continue
+                        cfg.set_edge(a, b, 0)
+                        pair = (a, b) if a < b else (b, a)
+                        if is_effective(state(a), state(b), 0):
+                            effective_pairs.add(pair)
+                        else:
+                            effective_pairs.discard(pair)
+                        changed = True
+            count = n - len(dead)
+            m = count * (count - 1) // 2
+            return changed
 
         steps = 0
         effective = 0
@@ -344,12 +487,41 @@ class AgitatedSimulator:
         since_check = 0
         log = math.log
 
-        if stabilized(cfg):
+        while fault_next is not None and fault_next <= 0:
+            apply_fault_actions(fault_next)
+            fault_next = plan.next_step(fault_next)
+
+        if stabilized(cfg) and steps >= horizon:
             return RunResult(True, 0, 0, 0, 0, cfg, "stabilized", trace)
 
         while True:
+            if fault_next is not None and fault_next <= steps:
+                fault_changed = False
+                while fault_next is not None and fault_next <= steps:
+                    fault_changed |= apply_fault_actions(fault_next)
+                    fault_next = plan.next_step(fault_next)
+                if fault_changed:
+                    last_change = steps
+                    last_output_change = steps
+                # Re-check even for a no-op fault: the certificate may
+                # have been suppressed only by the horizon gate.
+                if steps >= horizon and stabilized(cfg):
+                    return RunResult(
+                        True, steps, effective, last_change,
+                        last_output_change, cfg, "stabilized", trace,
+                    )
             k = len(effective_pairs)
             if k == 0:
+                if fault_next is not None and (
+                    horizon > steps or cfg.n_active_edges > 0
+                ):
+                    # Nothing can change before the next fault event:
+                    # jump the clock straight to it.
+                    if max_steps is not None and fault_next > max_steps:
+                        steps = max_steps
+                        break
+                    steps = fault_next
+                    continue
                 return RunResult(
                     True, steps, effective, last_change, last_output_change,
                     cfg, "quiescent", trace,
@@ -362,6 +534,14 @@ class AgitatedSimulator:
                 # Number of failed (ineffective) picks before a success.
                 p = k / m
                 skip = int(log(1.0 - rng.random()) / log(1.0 - p))
+            if fault_next is not None and steps + skip + 1 > fault_next:
+                # A fault fires before the next effective pick; the skip
+                # is memoryless, so jump to the fault and redraw.
+                if max_steps is not None and fault_next > max_steps:
+                    steps = max_steps
+                    break
+                steps = fault_next
+                continue
             if max_steps is not None and steps + skip + 1 > max_steps:
                 steps = max_steps
                 break
@@ -393,7 +573,9 @@ class AgitatedSimulator:
             since_check += 1
             if since_check >= check_interval:
                 since_check = 0
-                if stabilized(cfg):
+                if stabilized(cfg) and steps >= horizon and (
+                    fault_next is None or fault_next > steps
+                ):
                     return RunResult(
                         True, steps, effective, last_change,
                         last_output_change, cfg, "stabilized", trace,
@@ -422,8 +604,20 @@ class IndexedSimulator:
     the changed node's O(degree) incident active edges re-filed.
     """
 
-    def __init__(self, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        seed: int | None = None,
+        faults: tuple[FaultModel, ...] = (),
+    ) -> None:
         self.seed = seed
+        self.faults = tuple(faults)
+
+    @classmethod
+    def supports(cls, scenario) -> bool:
+        """Event-driven: requires the uniform random scheduler (the
+        geometric skip encodes its law); faults and initial-configuration
+        overrides are fine."""
+        return scenario.uses_uniform_scheduler
 
     def run(
         self,
@@ -470,6 +664,41 @@ class IndexedSimulator:
             index.move_node(w, old, new)
             sid[w] = new
 
+        plan = compile_fault_plan(self.faults, n, self.seed)
+        dead: set[int] = set()
+        fault_next = plan.next_step(-1) if plan is not None else None
+        horizon = plan.horizon if plan is not None else -1
+
+        def apply_fault_actions(at: int) -> bool:
+            nonlocal m
+            changed = False
+            alive = [u for u in range(n) if u not in dead]
+            for action in plan.actions_at(at, cfg, alive):
+                if action.kind == "crash":
+                    for w in action.nodes:
+                        if w in dead:
+                            continue
+                        sw = sid[w]
+                        for x in list(adj[w]):
+                            index.remove_edge(w, x, sw, sid[x])
+                            cfg.set_edge(w, x, 0)
+                        index.remove_node(w, sw)
+                        index.refresh_involving({sw})
+                        cfg.set_state(w, DEAD)
+                        dead.add(w)
+                        changed = True
+                else:
+                    for a, b in action.edges:
+                        if a in dead or b in dead or not cfg.edge_state(a, b):
+                            continue
+                        index.remove_edge(a, b, sid[a], sid[b])
+                        cfg.set_edge(a, b, 0)
+                        index.refresh_pair(sid[a], sid[b])
+                        changed = True
+            count = n - len(dead)
+            m = count * (count - 1) // 2
+            return changed
+
         steps = 0
         effective = 0
         last_change = 0
@@ -478,12 +707,41 @@ class IndexedSimulator:
         log = math.log
         edge_state = cfg.edge_state
 
-        if stabilized(cfg):
+        while fault_next is not None and fault_next <= 0:
+            apply_fault_actions(fault_next)
+            fault_next = plan.next_step(fault_next)
+
+        if stabilized(cfg) and steps >= horizon:
             return RunResult(True, 0, 0, 0, 0, cfg, "stabilized", trace)
 
         while True:
+            if fault_next is not None and fault_next <= steps:
+                fault_changed = False
+                while fault_next is not None and fault_next <= steps:
+                    fault_changed |= apply_fault_actions(fault_next)
+                    fault_next = plan.next_step(fault_next)
+                if fault_changed:
+                    last_change = steps
+                    last_output_change = steps
+                # Re-check even for a no-op fault: the certificate may
+                # have been suppressed only by the horizon gate.
+                if steps >= horizon and stabilized(cfg):
+                    return RunResult(
+                        True, steps, effective, last_change,
+                        last_output_change, cfg, "stabilized", trace,
+                    )
             k = index.total
             if k == 0:
+                if fault_next is not None and (
+                    horizon > steps or cfg.n_active_edges > 0
+                ):
+                    # Nothing can change before the next fault event:
+                    # jump the clock straight to it.
+                    if max_steps is not None and fault_next > max_steps:
+                        steps = max_steps
+                        break
+                    steps = fault_next
+                    continue
                 return RunResult(
                     True, steps, effective, last_change, last_output_change,
                     cfg, "quiescent", trace,
@@ -496,6 +754,14 @@ class IndexedSimulator:
                 # Number of failed (ineffective) picks before a success.
                 p = k / m
                 skip = int(log(1.0 - rng.random()) / log(1.0 - p))
+            if fault_next is not None and steps + skip + 1 > fault_next:
+                # A fault fires before the next effective pick; the skip
+                # is memoryless, so jump to the fault and redraw.
+                if max_steps is not None and fault_next > max_steps:
+                    steps = max_steps
+                    break
+                steps = fault_next
+                continue
             if max_steps is not None and steps + skip + 1 > max_steps:
                 steps = max_steps
                 break
@@ -572,7 +838,9 @@ class IndexedSimulator:
             since_check += 1
             if since_check >= check_interval:
                 since_check = 0
-                if stabilized(cfg):
+                if stabilized(cfg) and steps >= horizon and (
+                    fault_next is None or fault_next > steps
+                ):
                     return RunResult(
                         True, steps, effective, last_change,
                         last_output_change, cfg, "stabilized", trace,
@@ -588,9 +856,11 @@ class IndexedSimulator:
         )
 
 
-#: Engine registry: name -> engine class taking ``seed=``.  The
-#: sequential engine additionally accepts a ``scheduler`` and requires a
-#: finite ``max_steps`` budget.
+#: Engine registry: name -> engine class taking ``seed=`` and
+#: ``faults=``.  The sequential engine additionally accepts a
+#: ``scheduler`` and requires a finite ``max_steps`` budget.  Every
+#: class declares ``supports(scenario)`` for capability-aware routing
+#: (see :func:`repro.core.scenario.resolve_engine`).
 ENGINES: dict[str, type] = {
     "sequential": SequentialSimulator,
     "agitated": AgitatedSimulator,
@@ -618,17 +888,37 @@ def run_to_convergence(
     trace: Trace | None = None,
     check_interval: int = 1,
     engine: str = "indexed",
+    scenario=None,
 ) -> RunResult:
-    """Convenience wrapper: run an event-driven engine (the state-indexed
-    one by default) until the protocol stabilizes (raises
+    """Convenience wrapper: run an engine (the state-indexed one by
+    default) until the protocol stabilizes (raises
     :class:`ConvergenceError` if a finite ``max_steps`` budget is
-    exhausted first)."""
-    sim = make_engine(engine, seed=seed)
+    exhausted first).
+
+    ``scenario`` selects the environment (scheduler, faults, initial
+    configuration; see :mod:`repro.core.scenario`).  If the requested
+    engine does not support the scenario the run is routed to a
+    supporting engine — with a warning — instead of silently assuming
+    the uniform random scheduler; scenario runs never raise on budget
+    exhaustion (the record says ``converged=False`` instead).
+    """
+    if scenario is None or scenario.is_default:
+        sim = make_engine(engine, seed=seed)
+        config = None
+        require_convergence = max_steps is not None
+    else:
+        from repro.core.scenario import make_scenario_engine, resolve_engine
+
+        engine = resolve_engine(engine, scenario)
+        sim = make_scenario_engine(engine, seed, scenario)
+        config = scenario.build_initial(protocol, n)
+        require_convergence = False
     return sim.run(
         protocol,
         n,
         max_steps,
+        config=config,
         trace=trace,
         check_interval=check_interval,
-        require_convergence=max_steps is not None,
+        require_convergence=require_convergence,
     )

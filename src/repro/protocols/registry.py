@@ -34,37 +34,32 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.core.errors import ReproError
+from repro.core.params import (
+    Param,
+    SpecError,
+    format_spec,
+    resolve_params,
+    split_spec,
+)
+
+__all__ = [
+    "Param",
+    "ProtocolEntry",
+    "RegistryError",
+    "available",
+    "canonical_spec",
+    "get",
+    "instantiate",
+    "name_for_factory",
+    "names",
+    "parse_spec",
+    "register_protocol",
+    "spec_for",
+]
 
 
-class RegistryError(ReproError):
+class RegistryError(SpecError):
     """Bad registration or failed protocol lookup."""
-
-
-@dataclass(frozen=True)
-class Param:
-    """One declared constructor parameter of a registered protocol."""
-
-    name: str
-    type: type = int
-    default: Any = None
-    minimum: int | None = None
-    help: str = ""
-
-    def coerce(self, raw: Any) -> Any:
-        try:
-            value = self.type(raw)
-        except (TypeError, ValueError):
-            raise RegistryError(
-                f"parameter {self.name!r} expects {self.type.__name__}, "
-                f"got {raw!r}"
-            ) from None
-        if self.minimum is not None and value < self.minimum:
-            raise RegistryError(
-                f"parameter {self.name!r} must be >= {self.minimum}, "
-                f"got {value}"
-            )
-        return value
 
 
 @dataclass(frozen=True)
@@ -94,24 +89,10 @@ class ProtocolEntry:
     def resolve_params(self, given: dict[str, Any]) -> dict[str, Any]:
         """Validate/coerce ``given`` against the declared params, filling
         defaults; unknown or missing required parameters raise."""
-        declared = {p.name: p for p in self.params}
-        unknown = set(given) - set(declared)
-        if unknown:
-            raise RegistryError(
-                f"protocol {self.name!r} has no parameter(s) "
-                f"{sorted(unknown)}; declared: {sorted(declared) or 'none'}"
-            )
-        resolved: dict[str, Any] = {}
-        for p in self.params:
-            if p.name in given:
-                resolved[p.name] = p.coerce(given[p.name])
-            elif p.default is not None:
-                resolved[p.name] = p.default
-            else:
-                raise RegistryError(
-                    f"protocol {self.name!r} requires parameter {p.name!r}"
-                )
-        return resolved
+        return resolve_params(
+            f"protocol {self.name!r}", self.params, given,
+            error=RegistryError,
+        )
 
     def instantiate(self, **params: Any):
         return self.factory(**self.resolve_params(params))
@@ -223,23 +204,12 @@ def parse_spec(spec: str) -> tuple[ProtocolEntry, dict[str, Any]]:
     (``3rc``, ``4-cliques``).  Exact names/aliases win over shorthands.
     """
     ensure_populated()
-    name, _, paramtext = spec.partition(":")
-    name = name.strip()
-    given: dict[str, Any] = {}
-    if paramtext:
-        for item in paramtext.split(","):
-            key, eq, value = item.partition("=")
-            if not eq or not key.strip() or not value.strip():
-                raise RegistryError(
-                    f"malformed parameter {item!r} in spec {spec!r} "
-                    "(expected key=value)"
-                )
-            given[key.strip()] = value.strip()
+    name, given = split_spec(spec, error=RegistryError)
     canonical = _ALIASES.get(name, name)
     if canonical in _REGISTRY:
         entry = _REGISTRY[canonical]
         return entry, entry.resolve_params(given)
-    if not paramtext:
+    if not given:
         for entry in _REGISTRY.values():
             if entry._shorthand_re is None:
                 continue
@@ -253,10 +223,7 @@ def parse_spec(spec: str) -> tuple[ProtocolEntry, dict[str, Any]]:
 
 
 def _format_spec(entry: ProtocolEntry, params: dict[str, Any]) -> str:
-    if not params:
-        return entry.name
-    inner = ",".join(f"{k}={params[k]}" for k in sorted(params))
-    return f"{entry.name}:{inner}"
+    return format_spec(entry.name, params, entry.params)
 
 
 def canonical_spec(spec: str) -> str:
@@ -297,6 +264,10 @@ def spec_for(protocol: Any) -> str | None:
             params = {
                 p.name: getattr(protocol, p.name) for p in entry.params
             }
+            if any(value is None for value in params.values()):
+                # The instance does not pin a declared param down (e.g.
+                # it was built from a raw value the param cannot render).
+                return None
             return _format_spec(entry, params)
     return None
 

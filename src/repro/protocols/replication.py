@@ -27,8 +27,9 @@ import networkx as nx
 
 from repro.core.configuration import Configuration
 from repro.core.errors import ProtocolError, SimulationError
-from repro.core.graphs import isomorphic
+from repro.core.graphs import graph_spec, isomorphic, named_graph
 from repro.core.protocol import TableProtocol, coin_flip
+from repro.protocols.registry import Param, register_protocol
 
 
 class GraphReplication(TableProtocol):
@@ -158,3 +159,24 @@ class GraphReplication(TableProtocol):
             # every replica node has degree >= 1 (except the 1-node graph).
             return self.n1 == 1 and self._copy_correct(config)
         return isomorphic(replica, self.input_graph)
+
+
+@register_protocol(
+    "graph-replication",
+    params=(
+        Param(
+            "graph", graph_spec, default="ring-4",
+            help="named input graph G1 (e.g. ring-16, path-8, clique-5)",
+        ),
+    ),
+    aliases=("replication",),
+    description="Protocol 9: replicate a named input graph, Theta(n^4 log n)",
+)
+def graph_replication(graph: str = "ring-4") -> GraphReplication:
+    """Registry factory for :class:`GraphReplication`: the graph-valued
+    parameter is a named-graph spec string (see
+    :func:`repro.core.graphs.named_graph`), so composite constructors
+    resolve from plain spec strings — ``"graph-replication:graph=ring-16"``
+    — and sweep like any other registered protocol.  Remember the
+    population must satisfy ``n >= 2 |V1|``."""
+    return GraphReplication(named_graph(graph))
