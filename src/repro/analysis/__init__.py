@@ -3,8 +3,10 @@
 from repro.analysis.bench import (
     BenchCell,
     bench_engines,
+    bench_robustness,
     bench_runner,
     format_bench,
+    format_bench_robustness,
     format_bench_runner,
 )
 from repro.analysis.experiments import (
@@ -19,6 +21,15 @@ from repro.analysis.fitting import (
     crossover_size,
     empirical_ratio_curve,
     fit_power_law,
+)
+from repro.analysis.robustness import (
+    FAULT_FAMILIES,
+    RobustnessRecord,
+    RobustnessResult,
+    RobustnessSpec,
+    RobustnessTrial,
+    run_robustness,
+    run_robustness_trial,
 )
 from repro.analysis.runner import (
     EXECUTORS,
@@ -36,8 +47,13 @@ __all__ = [
     "BenchCell",
     "EXECUTORS",
     "ExperimentSpec",
+    "FAULT_FAMILIES",
     "MEASURES",
     "PowerLawFit",
+    "RobustnessRecord",
+    "RobustnessResult",
+    "RobustnessSpec",
+    "RobustnessTrial",
     "Runner",
     "SEED_POLICIES",
     "Summary",
@@ -45,15 +61,19 @@ __all__ = [
     "TrialRecord",
     "TrialSpec",
     "bench_engines",
+    "bench_robustness",
     "bench_runner",
     "crossover_size",
     "empirical_ratio_curve",
     "fit_power_law",
     "format_bench",
+    "format_bench_robustness",
     "format_bench_runner",
     "format_mean_ci",
     "measure_convergence",
     "render_table",
+    "run_robustness",
+    "run_robustness_trial",
     "run_trial",
     "run_trials",
     "summarize",

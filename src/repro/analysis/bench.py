@@ -282,6 +282,112 @@ def bench_runner(
     return record
 
 
+# ----------------------------------------------------------------------
+# Robustness benchmark (fault-load sweep: plain vs fault-tolerant line)
+# ----------------------------------------------------------------------
+
+#: Default robustness workload: the Protocol 1 line vs its FTNC-2019
+#: fault-tolerant variant under increasing crash load.
+ROBUSTNESS_PROTOCOLS: tuple[str, ...] = (
+    "simple-global-line", "ft-global-line",
+)
+ROBUSTNESS_LOADS: tuple[float, ...] = (0, 1, 2, 4)
+ROBUSTNESS_N = 24
+ROBUSTNESS_BUDGET = 20_000_000
+
+
+def bench_robustness(
+    *,
+    protocols: tuple[str, ...] = ROBUSTNESS_PROTOCOLS,
+    loads: tuple[float, ...] = ROBUSTNESS_LOADS,
+    n: int = ROBUSTNESS_N,
+    trials: int = 4,
+    faults: str = "crash",
+    jobs: int = 1,
+    base_seed: int = 0,
+    out: str | None = None,
+) -> dict:
+    """Run a small robustness sweep and return (optionally write) the
+    record — survival and re-stabilization curves per protocol, plus the
+    wall-clock cost of the grid.
+
+    The headline is the survival gap at the highest load: the
+    fault-tolerant constructor should hold a spanning line over the
+    survivors where the plain protocol strands leaderless fragments.
+    """
+    from repro.analysis.robustness import RobustnessSpec, run_robustness
+
+    spec = RobustnessSpec(
+        protocols=protocols,
+        loads=loads,
+        n=n,
+        trials=trials,
+        faults=faults,
+        base_seed=base_seed,
+        max_steps=ROBUSTNESS_BUDGET,
+        label="robustness-crash-sweep",
+    )
+    start = time.perf_counter()
+    result = run_robustness(spec, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    top = max(loads)
+    record = {
+        "schema": "repro-bench-robustness/1",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "jobs": jobs,
+        "spec": spec.to_dict(),
+        "trial_count": len(result.records),
+        "elapsed_seconds": elapsed,
+        "survival": {
+            p: {str(load): rate for load, rate in result.survival_curve(p).items()}
+            for p in spec.protocols
+        },
+        "restabilization": {
+            p: {
+                str(load): value
+                for load, value in result.restabilization_curve(p).items()
+            }
+            for p in spec.protocols
+        },
+        "survival_gap_at_top_load": {
+            "load": top,
+            "gap": result.survival_rate(spec.protocols[-1], top)
+            - result.survival_rate(spec.protocols[0], top),
+        },
+    }
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    return record
+
+
+def format_bench_robustness(record: dict) -> str:
+    """Human-readable table of a :func:`bench_robustness` record."""
+    spec = record["spec"]
+    loads = [str(load) for load in spec["loads"]]
+    width = max(len(p) for p in spec["protocols"]) + 2
+    lines = [
+        f"robustness     : {spec['faults']} loads={','.join(loads)} "
+        f"n={spec['n']} trials={spec['trials']}",
+        f"{'survival':<{width}} " + " ".join(f"{x:>8}" for x in loads),
+    ]
+    for p in spec["protocols"]:
+        curve = record["survival"][p]
+        lines.append(
+            f"{p:<{width}} "
+            + " ".join(f"{curve[x]:>8.2f}" for x in loads)
+        )
+    headline = record["survival_gap_at_top_load"]
+    lines.append(
+        f"\nsurvival gap @ load {headline['load']}: {headline['gap']:+.2f} "
+        f"({spec['protocols'][-1]} vs {spec['protocols'][0]}) "
+        f"in {record['elapsed_seconds']:.1f} s"
+    )
+    return "\n".join(lines)
+
+
 def format_bench_runner(record: dict) -> str:
     """Human-readable summary of a :func:`bench_runner` record."""
     spec = record["spec"]

@@ -1,0 +1,427 @@
+"""Robustness sweeps: protocol survival under increasing fault load.
+
+The *Fault Tolerant Network Constructors* line of work (Michail,
+Spirakis & Theofilatos 2019) asks how a construction degrades as the
+adversary gets stronger; the NETCS simulator (Amaxilatis et al. 2015)
+popularized reporting that degradation as per-load experiment grids.
+This module makes such a grid a value, mirroring the sweep layer of
+:mod:`repro.analysis.runner`:
+
+* a frozen :class:`RobustnessSpec` names the competing protocols, one
+  **fault family** (``crash``, ``edge-drop`` or ``churn``) and the
+  **loads** to sweep it over — each load expands to a concrete
+  :class:`~repro.core.scenario.Scenario` via :data:`FAULT_FAMILIES`;
+* :func:`run_robustness` expands the spec into independent
+  :class:`RobustnessTrial` s and executes them serially or across cores
+  (same order-preserving contract as the sweep executors);
+* a :class:`RobustnessResult` holds per-trial :class:`RobustnessRecord`
+  s and derives the two headline curves — **survival** (fraction of
+  trials whose surviving population stabilized to the protocol's target
+  construction) and **re-stabilization time** (the convergence measure
+  among surviving trials) — and round-trips through JSON via
+  :mod:`repro.core.serialization`.
+
+Trial seeds are derived from ``(base_seed, family, load, n, trial)`` —
+*not* from the protocol — so every protocol in a spec faces the same
+fault streams at the same loads: the sweep is a paired comparison.
+
+Typical use::
+
+    spec = RobustnessSpec(
+        protocols=("simple-global-line", "ft-global-line"),
+        loads=(0, 1, 2, 4), n=64, trials=10, max_steps=200_000_000,
+    )
+    result = run_robustness(spec, jobs=4)
+    result.survival_curve("ft-global-line")     # {load: fraction}
+    result.dominates("ft-global-line", "simple-global-line")
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.analysis.runner import (
+    MEASURES,
+    ExperimentError,
+    _hashed_seed,
+    pool_map,
+)
+from repro.core.faults import compact_survivors, survivors
+from repro.core.scenario import (
+    Scenario,
+    make_scenario_engine,
+    resolve_engine,
+)
+from repro.core.simulator import ENGINES, make_engine
+from repro.protocols import registry
+
+# ----------------------------------------------------------------------
+# Fault families: load -> fault spec string
+# ----------------------------------------------------------------------
+
+def _crash_family(load: float, at: int) -> str | None:
+    count = int(load)
+    if count != load or count < 0:
+        raise ExperimentError(
+            f"crash loads are node counts (integers >= 0), got {load!r}"
+        )
+    return f"crash:count={count},at={at}" if count else None
+
+
+def _edge_drop_family(load: float, at: int) -> str | None:
+    if load < 0 or load >= 1:
+        raise ExperimentError(
+            f"edge-drop loads are per-step rates in [0, 1), got {load!r}"
+        )
+    return f"edge-drop:rate={load}" if load else None
+
+
+def _churn_family(load: float, at: int) -> str | None:
+    if load < 0 or load >= 1:
+        raise ExperimentError(
+            f"churn loads are per-step rates in [0, 1), got {load!r}"
+        )
+    return f"churn:rate={load}" if load else None
+
+
+#: Fault family name -> ``(load, at) -> fault spec`` (``None`` at load 0:
+#: the baseline cell runs the default fault-free scenario).  ``at`` is
+#: the scheduled step of one-shot families; sustained families (rates)
+#: ignore it.
+FAULT_FAMILIES: dict[str, Callable[[float, int], str | None]] = {
+    "crash": _crash_family,
+    "edge-drop": _edge_drop_family,
+    "churn": _churn_family,
+}
+
+#: Sustained families whose positive loads perturb the run forever.
+UNBOUNDED_FAMILIES = frozenset({"edge-drop", "churn"})
+
+
+def _format_load(load: float) -> float | int:
+    """Loads render as ints when integral so JSON stays tidy."""
+    return int(load) if float(load) == int(load) else float(load)
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RobustnessSpec:
+    """A complete, serializable description of one robustness sweep.
+
+    ``protocols`` are registry spec strings (canonicalized on
+    construction); ``faults`` names a :data:`FAULT_FAMILIES` entry and
+    ``loads`` the strengths to sweep it over (crash: node counts;
+    edge-drop/churn: per-step rates; load ``0`` is the fault-free
+    baseline cell).  ``at`` is the step at which one-shot faults fire —
+    ``None`` defaults to ``n * n``, early enough that partial structures
+    exist to damage, late enough that the construction has started.
+
+    ``max_steps`` is mandatory: under faults a non-tolerant protocol can
+    be wrecked into a configuration that never stabilizes *and* never
+    quiesces (e.g. a walking leader on a line fragment with no endpoint
+    to settle on), so an unbudgeted run may never return.
+    """
+
+    protocols: tuple[str, ...]
+    loads: tuple[float, ...]
+    n: int = 32
+    trials: int = 10
+    faults: str = "crash"
+    at: int | None = None
+    engine: str = "indexed"
+    measure: str = "output"
+    base_seed: int = 0
+    max_steps: int | None = None
+    check_interval: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "protocols",
+            tuple(registry.canonical_spec(p) for p in self.protocols),
+        )
+        object.__setattr__(
+            self, "loads", tuple(_format_load(x) for x in self.loads)
+        )
+        if not self.protocols:
+            raise ExperimentError("spec needs at least one protocol")
+        if not self.loads:
+            raise ExperimentError("spec needs at least one fault load")
+        if self.n < 2:
+            raise ExperimentError(f"population must be >= 2, got {self.n}")
+        if self.trials < 1:
+            raise ExperimentError(f"trials must be >= 1, got {self.trials}")
+        if self.faults not in FAULT_FAMILIES:
+            raise ExperimentError(
+                f"unknown fault family {self.faults!r}; "
+                f"choose from {sorted(FAULT_FAMILIES)}"
+            )
+        if self.engine not in ENGINES:
+            raise ExperimentError(
+                f"unknown engine {self.engine!r}; choose from {sorted(ENGINES)}"
+            )
+        if self.measure not in MEASURES:
+            raise ExperimentError(
+                f"unknown measure {self.measure!r}; "
+                f"choose from {sorted(MEASURES)}"
+            )
+        if self.max_steps is None:
+            raise ExperimentError(
+                "robustness sweeps need a finite max_steps budget: a "
+                "faulted run may never stabilize nor quiesce"
+            )
+        # Validate every load eagerly (and thereby the family's domain).
+        for load in self.loads:
+            self.fault_spec(load)
+
+    @property
+    def fault_at(self) -> int:
+        """The step at which one-shot faults fire (default ``n * n``)."""
+        return self.n * self.n if self.at is None else self.at
+
+    def fault_spec(self, load: float) -> str | None:
+        """The fault spec string of one load cell (``None`` at load 0)."""
+        return FAULT_FAMILIES[self.faults](load, self.fault_at)
+
+    def scenario(self, load: float) -> Scenario:
+        """The scenario of one load cell."""
+        spec = self.fault_spec(load)
+        return Scenario(faults=(spec,) if spec else ())
+
+    def expand(self) -> list["RobustnessTrial"]:
+        """The independent trials, in (protocol, load, trial) order.
+
+        Seeds depend on ``(base_seed, family, load, n, trial)`` only, so
+        the protocols of the spec face identical fault streams cell by
+        cell — a paired experiment.
+        """
+        return [
+            RobustnessTrial(
+                protocol=protocol,
+                n=self.n,
+                load=load,
+                trial=trial,
+                seed=_hashed_seed(
+                    self.base_seed,
+                    f"robustness|{self.faults}|{load}",
+                    self.n,
+                    trial,
+                ),
+                fault=self.fault_spec(load) or "",
+                engine=self.engine,
+                measure=self.measure,
+                max_steps=self.max_steps,
+                check_interval=self.check_interval,
+            )
+            for protocol in self.protocols
+            for load in self.loads
+            for trial in range(self.trials)
+        ]
+
+    def to_dict(self) -> dict:
+        from repro.core.serialization import robustness_spec_to_dict
+
+        return robustness_spec_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "RobustnessSpec":
+        from repro.core.serialization import robustness_spec_from_dict
+
+        return robustness_spec_from_dict(payload)
+
+
+@dataclass(frozen=True)
+class RobustnessTrial:
+    """One independent trial of an expanded :class:`RobustnessSpec`
+    (picklable; the process executor ships these to workers)."""
+
+    protocol: str
+    n: int
+    load: float
+    trial: int
+    seed: int
+    fault: str = ""
+    engine: str = "indexed"
+    measure: str = "output"
+    max_steps: int | None = None
+    check_interval: int = 1
+
+
+@dataclass(frozen=True)
+class RobustnessRecord:
+    """Outcome of one robustness trial.
+
+    ``survived`` is the headline bit: the run stabilized within budget
+    *and* the surviving population (crashed nodes compacted away, see
+    :func:`repro.core.faults.compact_survivors`) forms the protocol's
+    target construction.  ``value`` is the spec's convergence measure —
+    under a mid-run fault it includes the damage and repair, i.e. the
+    *re-stabilization* time.  Every field except ``elapsed_seconds`` is
+    a deterministic function of the trial.
+    """
+
+    protocol: str
+    load: float
+    n: int
+    trial: int
+    seed: int
+    value: int
+    steps: int
+    effective_steps: int
+    converged: bool
+    survived: bool
+    alive: int
+    stop_reason: str
+    elapsed_seconds: float
+
+    def deterministic(self) -> "RobustnessRecord":
+        return replace(self, elapsed_seconds=0.0)
+
+
+def run_robustness_trial(trial: RobustnessTrial) -> RobustnessRecord:
+    """Execute one :class:`RobustnessTrial` (module-level: picklable)."""
+    protocol = registry.instantiate(trial.protocol)
+    scenario = Scenario(faults=(trial.fault,) if trial.fault else ())
+    read = MEASURES[trial.measure]
+    if scenario.is_default:
+        engine = trial.engine
+        sim = make_engine(engine, seed=trial.seed)
+        config = None
+    else:
+        engine = resolve_engine(trial.engine, scenario, warn=False)
+        sim = make_scenario_engine(engine, trial.seed, scenario)
+        config = scenario.build_initial(protocol, trial.n)
+    start = time.perf_counter()
+    result = sim.run(
+        protocol,
+        trial.n,
+        trial.max_steps,
+        config=config,
+        check_interval=trial.check_interval,
+        require_convergence=False,
+    )
+    elapsed = time.perf_counter() - start
+    alive = survivors(result.config)
+    survived = result.converged and bool(
+        protocol.target_reached(compact_survivors(result.config))
+    )
+    return RobustnessRecord(
+        protocol=trial.protocol,
+        load=trial.load,
+        n=trial.n,
+        trial=trial.trial,
+        seed=trial.seed,
+        value=read(result),
+        steps=result.steps,
+        effective_steps=result.effective_steps,
+        converged=result.converged,
+        survived=survived,
+        alive=len(alive),
+        stop_reason=result.stop_reason,
+        elapsed_seconds=elapsed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    """All trial records of one executed :class:`RobustnessSpec`."""
+
+    spec: RobustnessSpec
+    records: tuple[RobustnessRecord, ...]
+
+    def records_for(
+        self, protocol: str, load: float | None = None
+    ) -> list[RobustnessRecord]:
+        protocol = registry.canonical_spec(protocol)
+        return [
+            r
+            for r in self.records
+            if r.protocol == protocol and (load is None or r.load == load)
+        ]
+
+    def survival_rate(self, protocol: str, load: float) -> float:
+        """Fraction of (protocol, load) trials that survived."""
+        cell = self.records_for(protocol, load)
+        if not cell:
+            raise ExperimentError(
+                f"no records for protocol {protocol!r} at load {load!r}"
+            )
+        return sum(r.survived for r in cell) / len(cell)
+
+    def survival_curve(self, protocol: str) -> dict[float, float]:
+        """``{load: survival fraction}`` over the spec's loads."""
+        return {
+            load: self.survival_rate(protocol, load)
+            for load in self.spec.loads
+        }
+
+    def restabilization_curve(self, protocol: str) -> dict[float, float | None]:
+        """``{load: mean re-stabilization time among surviving trials}``
+        (``None`` for cells with no survivor)."""
+        curve: dict[float, float | None] = {}
+        for load in self.spec.loads:
+            values = [
+                r.value for r in self.records_for(protocol, load) if r.survived
+            ]
+            curve[load] = statistics.fmean(values) if values else None
+        return curve
+
+    def dominates(self, challenger: str, baseline: str) -> bool:
+        """True when ``challenger``'s survival is at least ``baseline``'s
+        at every load and strictly better at some positive load — the
+        designed-for-faults protocol should dominate the plain one."""
+        c = self.survival_curve(challenger)
+        b = self.survival_curve(baseline)
+        if any(c[load] < b[load] for load in self.spec.loads):
+            return False
+        return any(
+            c[load] > b[load] for load in self.spec.loads if load > 0
+        )
+
+    def to_dict(self) -> dict:
+        from repro.core.serialization import robustness_result_to_dict
+
+        return robustness_result_to_dict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "RobustnessResult":
+        from repro.core.serialization import robustness_result_from_dict
+
+        return robustness_result_from_dict(payload)
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "RobustnessResult":
+        import json
+
+        return RobustnessResult.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+def run_robustness(
+    spec: RobustnessSpec, jobs: int = 1, items: Sequence[RobustnessTrial] | None = None
+) -> RobustnessResult:
+    """Expand ``spec`` and execute every trial (optionally across
+    ``jobs`` worker processes; records are executor-independent, as for
+    the sweep runner).  Never partial — a trial failure propagates."""
+    trials = spec.expand() if items is None else list(items)
+    records = pool_map(run_robustness_trial, trials, jobs)
+    return RobustnessResult(spec=spec, records=tuple(records))

@@ -411,24 +411,32 @@ def run_trial(trial: TrialSpec) -> TrialRecord:
 # Executors
 # ----------------------------------------------------------------------
 
+def pool_map(fn: Callable, items: Sequence, jobs: int) -> list:
+    """Order-preserving map over a :mod:`multiprocessing` pool (in-process
+    when ``jobs == 1`` or there is nothing to fan out).
+
+    ``fn`` must be a picklable module-level callable.  ``pool.map``
+    preserves input order, so parallel results line up with a serial
+    map's exactly — the mechanism behind the executor-equivalence
+    contract, shared by the sweep and robustness executors.
+    """
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    chunksize = max(1, len(items) // (jobs * 4))
+    with multiprocessing.Pool(processes=jobs) as pool:
+        return pool.map(fn, list(items), chunksize=chunksize)
+
+
 def serial_executor(trials: Sequence[TrialSpec], jobs: int) -> list[TrialRecord]:
     """Run every trial in-process, in order."""
     return [run_trial(trial) for trial in trials]
 
 
 def process_executor(trials: Sequence[TrialSpec], jobs: int) -> list[TrialRecord]:
-    """Fan trials out across a :mod:`multiprocessing` pool.
-
-    ``pool.map`` preserves input order, so the returned records line up
-    with the serial executor's exactly.
-    """
-    if jobs < 1:
-        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
-    if jobs == 1 or len(trials) <= 1:
-        return serial_executor(trials, jobs)
-    chunksize = max(1, len(trials) // (jobs * 4))
-    with multiprocessing.Pool(processes=jobs) as pool:
-        return pool.map(run_trial, list(trials), chunksize=chunksize)
+    """Fan trials out across a :mod:`multiprocessing` pool."""
+    return pool_map(run_trial, trials, jobs)
 
 
 #: name -> ``(trials, jobs) -> records`` executor.  Future scenario axes

@@ -19,17 +19,26 @@ configuration (see ``docs/experiments.md``)::
     repro-net run simple-global-line -n 20 --faults crash:count=2,at=0
     repro-net run cycle-cover -n 12 --init graph:graph=path-6
 
-Time the simulation engines (or the parallel executors) against each
-other::
+Sweep protocols over increasing fault load and compare their survival
+and re-stabilization curves (see ``docs/experiments.md``)::
+
+    repro-net robustness simple-global-line ft-global-line \\
+        --faults crash --loads 0,1,2,4 -n 64
+
+Time the simulation engines (or the parallel executors, or the
+robustness grid) against each other::
 
     repro-net bench --out BENCH_engines.json
     repro-net bench --runner --out BENCH_runner.json
+    repro-net bench --robustness --out BENCH_robustness.json
 
-List everything the registries know::
+List everything the registries know (``describe`` accepts protocol,
+scheduler, fault-model and initial-configuration specs alike)::
 
     repro-net list
     repro-net list --schedulers --faults --inits
     repro-net describe k-regular-connected
+    repro-net describe crash:count=2,at=100
 """
 
 from __future__ import annotations
@@ -41,9 +50,16 @@ from repro.analysis import fit_power_law
 from repro.analysis.bench import (
     LINE_SIZES,
     bench_engines,
+    bench_robustness,
     bench_runner,
     format_bench,
+    format_bench_robustness,
     format_bench_runner,
+)
+from repro.analysis.robustness import (
+    FAULT_FAMILIES,
+    RobustnessSpec,
+    run_robustness,
 )
 from repro.analysis.runner import (
     MEASURES,
@@ -53,9 +69,13 @@ from repro.analysis.runner import (
 )
 from repro.core.errors import ReproError
 from repro.core.faults import FAULTS, survivors
+from repro.core.params import SpecError
 from repro.core.scenario import INITS, Scenario, resolve_engine
 from repro.core.scheduler import SCHEDULERS
-from repro.core.serialization import dump_sweep_result
+from repro.core.serialization import (
+    dump_robustness_result,
+    dump_sweep_result,
+)
 from repro.core.simulator import ENGINES, run_to_convergence
 from repro.protocols import registry
 from repro.viz import component_summary, state_summary
@@ -143,13 +163,68 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_arguments(sweep_p)
 
+    robust_p = sub.add_parser(
+        "robustness",
+        help="sweep protocols over increasing fault load "
+        "(survival / re-stabilization curves)",
+    )
+    robust_p.add_argument(
+        "protocols", nargs="+",
+        help="registry specs of the competing protocols, e.g. "
+        "simple-global-line ft-global-line",
+    )
+    robust_p.add_argument(
+        "--faults", choices=sorted(FAULT_FAMILIES), default="crash",
+        help="fault family to sweep (default: crash)",
+    )
+    robust_p.add_argument(
+        "--loads", default="0,1,2,4",
+        help="comma-separated fault loads (crash: node counts; "
+        "edge-drop/churn: per-step rates; 0 = fault-free baseline)",
+    )
+    robust_p.add_argument("-n", type=int, default=32, help="population size")
+    robust_p.add_argument("--trials", type=int, default=10)
+    robust_p.add_argument("--seed", type=int, default=0)
+    robust_p.add_argument(
+        "--at", type=int, default=None,
+        help="step at which one-shot faults fire (default: n*n)",
+    )
+    robust_p.add_argument(
+        "--engine", choices=sorted(ENGINES), default="indexed",
+        help="simulation engine (default: indexed)",
+    )
+    robust_p.add_argument(
+        "--measure", choices=sorted(MEASURES), default="output",
+        help="re-stabilization measure (default: output)",
+    )
+    robust_p.add_argument(
+        "--max-steps", type=int, default=None,
+        help="per-run step budget (default: "
+        f"{DEFAULT_SCENARIO_BUDGET}; a wrecked run may never stabilize)",
+    )
+    robust_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel worker processes (default: 1 = in-process serial)",
+    )
+    robust_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full RobustnessResult as JSON ('-' for stdout)",
+    )
+
     bench_p = sub.add_parser(
-        "bench", help="time engines (default) or parallel executors"
+        "bench",
+        help="time engines (default), parallel executors, or the "
+        "robustness grid",
     )
     bench_p.add_argument(
         "--runner", action="store_true",
         help="benchmark the serial vs multiprocessing executors instead "
         "of the simulation engines",
+    )
+    bench_p.add_argument(
+        "--robustness", action="store_true",
+        help="run the crash-load robustness grid (plain vs "
+        "fault-tolerant line) instead of the engine timings",
     )
     bench_p.add_argument(
         "--line-sizes",
@@ -185,9 +260,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     describe_p = sub.add_parser(
-        "describe", help="show one protocol's registry entry in full"
+        "describe",
+        help="show one registry entry in full (protocol, scheduler, "
+        "fault model or initial configuration)",
     )
-    describe_p.add_argument("protocol", help="registry spec (see 'run')")
+    describe_p.add_argument(
+        "protocol", metavar="spec",
+        help="registry spec: a protocol ('global-star', '3rc'), a "
+        "scheduler ('round-robin'), a fault model ('crash:count=2') or "
+        "an initial configuration ('doped:state=l')",
+    )
     return parser
 
 
@@ -287,8 +369,74 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    max_steps = args.max_steps
+    if max_steps is None:
+        max_steps = DEFAULT_SCENARIO_BUDGET
+        print(f"note: defaulting --max-steps to {DEFAULT_SCENARIO_BUDGET}")
+    spec = RobustnessSpec(
+        protocols=tuple(args.protocols),
+        # The spec normalizes loads (ints stay ints) on construction.
+        loads=tuple(float(x) for x in args.loads.split(",")),
+        n=args.n,
+        trials=args.trials,
+        faults=args.faults,
+        at=args.at,
+        engine=args.engine,
+        measure=args.measure,
+        base_seed=args.seed,
+        max_steps=max_steps,
+    )
+    print(
+        f"robustness: {args.faults} loads={','.join(map(str, spec.loads))} "
+        f"n={spec.n} trials={spec.trials} at={spec.fault_at} "
+        f"engine={spec.engine}\n"
+    )
+    result = run_robustness(spec, jobs=args.jobs)
+    width = max(len(p) for p in spec.protocols)
+    print(
+        f"{'protocol':<{width}} {'load':>8} {'survival':>9} "
+        f"{'restab mean':>12} {'converged':>10}"
+    )
+    for protocol in spec.protocols:
+        survival = result.survival_curve(protocol)
+        restab = result.restabilization_curve(protocol)
+        for load in spec.loads:
+            cell = result.records_for(protocol, load)
+            converged = sum(r.converged for r in cell)
+            mean = restab[load]
+            mean_text = f"{mean:.0f}" if mean is not None else "-"
+            print(
+                f"{protocol:<{width}} {load:>8} {survival[load]:>9.2f} "
+                f"{mean_text:>12} {converged:>7}/{len(cell)}"
+            )
+    if len(spec.protocols) >= 2:
+        baseline = spec.protocols[0]
+        for challenger in spec.protocols[1:]:
+            verdict = (
+                "dominates"
+                if result.dominates(challenger, baseline)
+                else "does NOT dominate"
+            )
+            print(f"\n{challenger} {verdict} {baseline} under {args.faults} load")
+    if args.out == "-":
+        print(result.to_json())
+    elif args.out is not None:
+        dump_robustness_result(result, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    if args.runner:
+    if args.robustness:
+        out = "BENCH_robustness.json" if args.out is None else args.out
+        out = None if out == "-" else out
+        record = bench_robustness(
+            trials=4 if args.trials is None else args.trials,
+            jobs=args.jobs or 1, base_seed=args.seed, out=out,
+        )
+        print(format_bench_robustness(record))
+    elif args.runner:
         out = "BENCH_runner.json" if args.out is None else args.out
         out = None if out == "-" else out
         record = bench_runner(
@@ -333,11 +481,91 @@ def _cmd_list(args: argparse.Namespace) -> int:
         _print_registry_table(INITS.available(), "initial configurations")
     if not extra:
         _print_registry_table(registry.available())
+        # Registry-coverage gap (tracked in ROADMAP.md): the driven
+        # machines run through their own drivers, not spec strings.
+        print(
+            "\nnot yet registered (driver-run only): the tm/ simulation "
+            "machines\n(repro.tm.machine, repro.tm.line_machine) and the "
+            "universal constructor\n(repro.generic.universal)"
+        )
+    return 0
+
+
+def _describe_spec_entry(kind: str, registry_obj, spec: str) -> int:
+    """Describe a scheduler/fault/init registry entry (the lighter
+    :class:`~repro.core.params.SpecRegistry` records).
+
+    Bare names describe the entry itself even when it has required
+    parameters without defaults (``describe edge-drop`` after ``list
+    --faults`` must work); given parameter values are still validated,
+    and the canonical line appears once every required value is bound.
+    """
+    from repro.core.params import split_spec
+
+    name, given = split_spec(spec)
+    entry = registry_obj.get(name)
+    by_name = {p.name: p for p in entry.params}
+    unknown = set(given) - set(by_name)
+    if unknown:
+        raise SpecError(
+            f"{kind} {entry.name!r} has no parameter(s) {sorted(unknown)}; "
+            f"declared: {sorted(by_name) or 'none'}"
+        )
+    bound = {
+        p.name: p.coerce(given[p.name]) if p.name in given else p.default
+        for p in entry.params
+    }
+    fully_bound = all(value is not None for value in bound.values())
+    print(f"kind        : {kind}")
+    print(f"name        : {entry.name}")
+    if entry.aliases:
+        print(f"aliases     : {', '.join(entry.aliases)}")
+    print(f"class       : {entry.factory.__module__}.{entry.factory.__name__}")
+    print(f"description : {entry.description}")
+    if entry.params:
+        print("parameters  :")
+        for p in entry.params:
+            value = bound[p.name]
+            shown = "(required)" if value is None else f"= {value}"
+            extra = f" (>= {p.minimum})" if p.minimum is not None else ""
+            help_text = f" — {p.help}" if p.help else ""
+            print(
+                f"  {p.name}: {p.type.__name__} {shown}"
+                f"{extra}{help_text}"
+            )
+    else:
+        print("parameters  : none")
+    if fully_bound:
+        print(f"canonical   : {registry_obj.canonical(spec)}")
+    doc = (entry.factory.__doc__ or "").strip()
+    if doc:
+        first_paragraph = doc.split("\n\n")[0]
+        print("doc         :")
+        for line in first_paragraph.splitlines():
+            print(f"  {line.strip()}")
     return 0
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
-    entry, params = registry.parse_spec(args.protocol)
+    try:
+        entry, params = registry.parse_spec(args.protocol)
+    except SpecError as protocol_error:
+        # Not a protocol: try the scenario-axis registries so one
+        # describe command covers every spec the CLI accepts.  Match on
+        # the bare name first, so a bad parameter on a known fault
+        # model reports the fault model's error, not "unknown protocol".
+        name = args.protocol.partition(":")[0].strip()
+        for kind, registry_obj in (
+            ("scheduler", SCHEDULERS),
+            ("fault model", FAULTS),
+            ("initial configuration", INITS),
+        ):
+            try:
+                registry_obj.get(name)
+            except SpecError:
+                continue
+            return _describe_spec_entry(kind, registry_obj, args.protocol)
+        raise protocol_error
     protocol = entry.instantiate(**params)
     print(f"name        : {entry.name}")
     if entry.aliases:
@@ -395,6 +623,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "robustness":
+            return _cmd_robustness(args)
         if args.command == "bench":
             return _cmd_bench(args)
     except ReproError as exc:

@@ -82,6 +82,21 @@ class Configuration:
         clone._by_state = {s: b.copy() for s, b in self._by_state.items()}
         return clone
 
+    def add_node(self, state: State) -> int:
+        """Grow the population by one node in ``state`` (no active edges)
+        and return its id — the dynamic-population primitive behind the
+        ``arrive``/``churn`` fault models.  Existing node ids, edges and
+        the by-state index are untouched; engines re-derive their pair
+        counts after every population event."""
+        u = len(self._states)
+        self._states.append(state)
+        self._adj.append(set())
+        bucket = self._by_state.get(state)
+        if bucket is None:
+            bucket = self._by_state[state] = IndexedSet()
+        bucket.add(u)
+        return u
+
     # ------------------------------------------------------------------
     # Node states
     # ------------------------------------------------------------------

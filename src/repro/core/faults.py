@@ -4,8 +4,11 @@ Models the *Fault Tolerant Network Constructors* setting (Michail,
 Spirakis & Theofilatos 2019) on top of the PODC 2014 model: between
 scheduler picks the adversary may **crash-stop** nodes (a crashed node
 stops interacting forever and its incident edges are removed from the
-configuration) and **delete edges** — either a one-shot scheduled cut of
-specific edges or a sustained deletion rate.
+configuration), **delete edges** — either a one-shot scheduled cut of
+specific edges or a sustained deletion rate — and **change the
+population**: fresh nodes may arrive in the protocol's initial state,
+crashed nodes may recover, and sustained churn pairs departures with
+arrivals.
 
 Every fault model registers itself in :data:`FAULTS` (a
 :class:`~repro.core.params.SpecRegistry`); spec strings are the
@@ -14,6 +17,18 @@ Every fault model registers itself in :data:`FAULTS` (a
     crash:at=1000,count=2        # crash 2 uniformly-chosen nodes at step 1000
     cut:at=500,edges=0-1+2-3     # adversarially cut specific edges at step 500
     edge-drop:rate=0.0001        # each step w.p. rate delete one random edge
+    arrive:at=2000,count=5       # 5 fresh nodes join (initial state) at 2000
+    recover:at=1000,count=2,delay=500   # 2 DEAD nodes rejoin at step 1500
+    churn:rate=0.0001            # each step w.p. rate: one crash + one arrival
+
+For example:
+
+>>> from repro.core.faults import FAULTS
+>>> FAULTS.canonical("crash-stop:count=2")
+'crash:at=0,count=2'
+>>> model = FAULTS.instantiate("arrive:count=3,at=100")
+>>> (model.count, model.at)
+(3, 100)
 
 Execution model
 ---------------
@@ -28,12 +43,32 @@ fault event instead of walking every step.  A fault scheduled at step
 ``f`` is applied after the scheduler's pick number ``f`` and before
 pick ``f + 1`` (``at=0`` fires before the first pick).
 
+>>> import random
+>>> plan = FAULTS.instantiate("arrive:count=3,at=100").compile(
+...     8, random.Random(0))
+>>> plan.next_step(-1), plan.next_step(100)
+(100, None)
+>>> plan.mutates_population
+True
+
 Crashed nodes keep their slot in the :class:`Configuration` but move to
 the :data:`DEAD` sentinel state — no protocol rule mentions it, so
 certificate predicates that count protocol states simply no longer see
 the crashed node.  Engines additionally remove dead nodes from their
 candidate-pair structures: scheduler steps count picks among *alive*
-pairs only, identically in all engines.
+pairs only, identically in all engines.  When a node crashes, each
+surviving neighbor is notified through
+:meth:`repro.core.protocol.Protocol.on_neighbor_crash` (the 2019
+paper's minimal strengthening); the default hook ignores the
+notification, fault-aware protocols use it to trigger local repair.
+
+Population events (``arrive``, ``recover``, ``churn``) grow or shrink
+the *alive* population mid-run: arriving nodes take fresh ids at the
+end of the configuration, recovering nodes leave the :data:`DEAD`
+state for the protocol's initial state.  Engines re-derive their pair
+counts at every population event, and stabilization is gated on the
+plan's :attr:`~FaultPlan.horizon`, so a run never declares itself
+stable while scheduled arrivals or recoveries are still pending.
 """
 
 from __future__ import annotations
@@ -75,11 +110,63 @@ def register_fault(
 
 
 def survivors(config: Configuration) -> list[int]:
-    """Nodes that have not crashed (state is not :data:`DEAD`)."""
+    """Nodes that have not crashed (state is not :data:`DEAD`).
+
+    >>> from repro.core.configuration import Configuration
+    >>> config = Configuration(["q0", "__dead__", "q1"])
+    >>> survivors(config)
+    [0, 2]
+    """
     return [u for u in range(config.n) if config.state(u) != DEAD]
 
 
+def dead_nodes(config: Configuration) -> list[int]:
+    """Crashed nodes (state is :data:`DEAD`) — the recovery pool of the
+    ``recover`` fault model.
+
+    >>> from repro.core.configuration import Configuration
+    >>> dead_nodes(Configuration(["q0", "__dead__", "q1"]))
+    [1]
+    """
+    return [u for u in range(config.n) if config.state(u) == DEAD]
+
+
+def compact_survivors(config: Configuration) -> Configuration:
+    """The surviving population as a fresh :class:`Configuration`:
+    alive nodes renumbered ``0..k-1`` (in id order) with their states
+    and the active edges among them.  Target predicates like
+    ``protocol.target_reached`` are defined over whole configurations,
+    so robustness metrics evaluate them on this compaction — a crashed
+    node must not count as a missing line segment.
+
+    >>> from repro.core.configuration import Configuration
+    >>> config = Configuration(["q1", "__dead__", "l"], [(0, 2)])
+    >>> compact = compact_survivors(config)
+    >>> compact.states(), sorted(compact.active_edges())
+    (['q1', 'l'], [(0, 1)])
+    """
+    alive = survivors(config)
+    renumber = {u: i for i, u in enumerate(alive)}
+    return Configuration(
+        [config.state(u) for u in alive],
+        [
+            (renumber[u], renumber[v])
+            for u, v in config.active_edges()
+            if u in renumber and v in renumber
+        ],
+    )
+
+
 def probability(raw) -> float:
+    """Coerce a sustained-fault rate, requiring ``0 < rate < 1``.
+
+    >>> probability("0.25")
+    0.25
+    >>> probability(1.5)
+    Traceback (most recent call last):
+        ...
+    ValueError: rate must be in (0, 1), got 1.5
+    """
     value = float(raw)
     if not 0.0 < value < 1.0:
         raise ValueError(f"rate must be in (0, 1), got {value}")
@@ -90,15 +177,24 @@ def probability(raw) -> float:
 class FaultAction:
     """One concrete adversarial act, resolved to nodes/edges.
 
-    ``kind`` is ``"crash"`` (crash-stop every node in ``nodes``) or
-    ``"cut"`` (deactivate every edge in ``edges``).  Engines apply
-    actions through their own mutation paths so indexes stay coherent.
+    ``kind`` is one of:
+
+    * ``"crash"`` — crash-stop every node in ``nodes``;
+    * ``"cut"`` — deactivate every edge in ``edges``;
+    * ``"arrive"`` — grow the population by ``count`` fresh nodes in
+      the protocol's initial state;
+    * ``"revive"`` — return every :data:`DEAD` node in ``nodes`` to the
+      protocol's initial state.
+
+    Engines apply actions through their own mutation paths so indexes
+    stay coherent.
     """
 
     step: int
     kind: str
     nodes: tuple[int, ...] = ()
     edges: tuple[tuple[int, int], ...] = ()
+    count: int = 0
 
 
 class FaultPlan:
@@ -108,7 +204,15 @@ class FaultPlan:
     #: when the plan has none).  Engines refuse to declare stabilization
     #: before the horizon has passed, so a certificate holding at step
     #: 100 does not end a run whose crash is scheduled for step 10_000.
+    #: Population events share the same gate: the horizon of an
+    #: ``arrive``/``recover`` plan is its (last) join step.
     horizon: int = -1
+
+    #: True when the plan can change the alive population (arrivals,
+    #: recoveries, churn).  Engines must not declare quiescence while
+    #: such a plan still has pending events — a joining node can create
+    #: effective pairs out of nothing.
+    mutates_population: bool = False
 
     def next_step(self, after: int) -> int | None:
         """The next step strictly greater than ``after`` at which this
@@ -127,8 +231,8 @@ class FaultModel:
     """Base class for registered fault models (pure descriptions)."""
 
     #: True when every event of the model is a scheduled one-shot (the
-    #: plan's event stream is finite).  Sustained models (edge-drop)
-    #: set this False; runs with them need a finite step budget.
+    #: plan's event stream is finite).  Sustained models (edge-drop,
+    #: churn) set this False; runs with them need a finite step budget.
     bounded = True
 
     def compile(self, n: int, rng: random.Random) -> FaultPlan:
@@ -250,19 +354,22 @@ class EdgeDropFaults(FaultModel):
         return _DropPlan(self.rate, rng)
 
 
+def _geometric_gap(after: int, rate: float, rng: random.Random) -> int:
+    """The next event time of a per-step Bernoulli(``rate``) process,
+    strictly after ``after`` (inverse-CDF geometric draw)."""
+    u = rng.random()
+    return after + 1 + int(math.log(1.0 - u) / math.log(1.0 - rate))
+
+
 class _DropPlan(FaultPlan):
     def __init__(self, rate: float, rng: random.Random) -> None:
         self.rate = rate
         self.rng = rng
-        self._next = self._gap(0)
-
-    def _gap(self, after: int) -> int:
-        u = self.rng.random()
-        return after + 1 + int(math.log(1.0 - u) / math.log(1.0 - self.rate))
+        self._next = _geometric_gap(0, rate, rng)
 
     def next_step(self, after: int) -> int | None:
         while self._next <= after:
-            self._next = self._gap(self._next)
+            self._next = _geometric_gap(self._next, self.rate, self.rng)
         return self._next
 
     def actions_at(self, step, config, alive):
@@ -275,12 +382,174 @@ class _DropPlan(FaultPlan):
         return [FaultAction(step, "cut", edges=((u, v),))]
 
 
+# ----------------------------------------------------------------------
+# Population events: arrivals, recoveries, churn
+# ----------------------------------------------------------------------
+
+@register_fault(
+    "arrive",
+    params=(
+        Param("count", int, default=1, minimum=1,
+              help="how many fresh nodes join"),
+        Param("at", int, default=0, minimum=0,
+              help="scheduler step at which they join"),
+    ),
+    aliases=("arrival",),
+    description="`count` fresh nodes join in the initial state at step `at`",
+)
+class ArrivalFaults(FaultModel):
+    """At step ``at``, ``count`` fresh nodes join the population in the
+    protocol's initial state with no active edges.  New nodes take the
+    next free ids, so a run started with ``n`` nodes ends with node ids
+    ``0 .. n + count - 1``."""
+
+    def __init__(self, count: int = 1, at: int = 0) -> None:
+        if count < 1:
+            raise SimulationError(f"arrival count must be >= 1, got {count}")
+        if at < 0:
+            raise SimulationError(f"arrival step must be >= 0, got {at}")
+        self.count = count
+        self.at = at
+
+    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+        return _ArrivalPlan(self.at, self.count)
+
+
+class _ArrivalPlan(FaultPlan):
+    mutates_population = True
+
+    def __init__(self, at: int, count: int) -> None:
+        self.at = at
+        self.count = count
+        self.horizon = at
+
+    def next_step(self, after: int) -> int | None:
+        return self.at if after < self.at else None
+
+    def actions_at(self, step, config, alive):
+        if step != self.at:
+            return []
+        return [FaultAction(step, "arrive", count=self.count)]
+
+
+@register_fault(
+    "recover",
+    params=(
+        Param("count", int, default=1, minimum=1,
+              help="how many DEAD nodes rejoin"),
+        Param("at", int, default=0, minimum=0,
+              help="scheduler step at which recovery starts"),
+        Param("delay", int, default=0, minimum=0,
+              help="steps between recovery start and the rejoin"),
+    ),
+    aliases=("rejoin",),
+    description="`count` DEAD nodes rejoin (initial state) at step `at+delay`",
+)
+class RecoverFaults(FaultModel):
+    """At step ``at + delay``, up to ``count`` nodes chosen uniformly
+    among the currently :data:`DEAD` ones rejoin the protocol in its
+    initial state (fewer if fewer are dead; their old edges stay gone).
+    ``delay`` models the repair latency between the recovery process
+    starting at ``at`` and the nodes actually rejoining."""
+
+    def __init__(self, count: int = 1, at: int = 0, delay: int = 0) -> None:
+        if count < 1:
+            raise SimulationError(f"recover count must be >= 1, got {count}")
+        if at < 0 or delay < 0:
+            raise SimulationError(
+                f"recover step/delay must be >= 0, got at={at}, delay={delay}"
+            )
+        self.count = count
+        self.at = at
+        self.delay = delay
+
+    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+        return _RecoverPlan(self.at + self.delay, self.count, rng)
+
+
+class _RecoverPlan(FaultPlan):
+    mutates_population = True
+
+    def __init__(self, at: int, count: int, rng: random.Random) -> None:
+        self.at = at
+        self.count = count
+        self.rng = rng
+        self.horizon = at
+
+    def next_step(self, after: int) -> int | None:
+        return self.at if after < self.at else None
+
+    def actions_at(self, step, config, alive):
+        if step != self.at:
+            return []
+        dead = dead_nodes(config)
+        if not dead:
+            return []
+        revived = self.rng.sample(dead, min(self.count, len(dead)))
+        return [FaultAction(step, "revive", nodes=tuple(sorted(revived)))]
+
+
+@register_fault(
+    "churn",
+    params=(
+        Param("rate", probability, default=None,
+              help="per-step probability of one departure+arrival pair"),
+    ),
+    aliases=("turnover",),
+    description="each step w.p. `rate` crash one node and add one fresh node",
+)
+class ChurnFaults(FaultModel):
+    """Sustained population turnover: at every scheduler step, with
+    probability ``rate``, one uniformly-chosen alive node crash-stops
+    and one fresh node joins in the protocol's initial state — paired
+    departures and arrivals, so the alive population size is invariant
+    while its membership keeps rotating.  Event times are geometric,
+    hence step-indexed, so the skip-ahead engines handle churn exactly."""
+
+    bounded = False
+
+    def __init__(self, rate: float) -> None:
+        try:
+            self.rate = probability(rate)
+        except (TypeError, ValueError) as exc:
+            raise SimulationError(str(exc)) from None
+
+    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+        return _ChurnPlan(self.rate, rng)
+
+
+class _ChurnPlan(FaultPlan):
+    mutates_population = True
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        self.rate = rate
+        self.rng = rng
+        self._next = _geometric_gap(0, rate, rng)
+
+    def next_step(self, after: int) -> int | None:
+        while self._next <= after:
+            self._next = _geometric_gap(self._next, self.rate, self.rng)
+        return self._next
+
+    def actions_at(self, step, config, alive):
+        if step != self._next or not alive:
+            return []
+        victim = sorted(alive)[self.rng.randrange(len(alive))]
+        return [
+            FaultAction(step, "crash", nodes=(victim,)),
+            FaultAction(step, "arrive", count=1),
+        ]
+
+
 class CompositeFaultPlan(FaultPlan):
     """Merge several plans into one step-indexed event stream."""
 
     def __init__(self, plans: list[FaultPlan]) -> None:
         self.plans = plans
         self.horizon = max(plan.horizon for plan in plans)
+        self.mutates_population = any(
+            plan.mutates_population for plan in plans
+        )
 
     def next_step(self, after: int) -> int | None:
         steps = [

@@ -17,6 +17,22 @@ protocol registry keeps its richer lookup rules (aliases *and*
 shorthand regexes) but is built from the same pieces; the lighter
 registries instantiate :class:`SpecRegistry` directly.
 
+A registry is a dict of named factories plus their declared
+:class:`Param` s; :meth:`SpecRegistry.canonical` normalizes any
+accepted spelling to one canonical string:
+
+>>> from repro.core.params import Param, SpecRegistry
+>>> registry = SpecRegistry("widget")
+>>> @registry.register("blinker", params=(Param("period", int, default=2),),
+...                    aliases=("blink",))
+... class Blinker:
+...     def __init__(self, period=2):
+...         self.period = period
+>>> registry.canonical("blink:period=5")
+'blinker:period=5'
+>>> registry.instantiate("blinker").period
+2
+
 Value types beyond ``int``/``float``/``str`` are plain callables with a
 matching ``format`` function so coerced values render back to the exact
 spec text they parsed from: :func:`node_set` (``"0..4+7"``) and
@@ -74,7 +90,13 @@ class Param:
 def split_spec(
     spec: str, *, error: type[SpecError] = SpecError
 ) -> tuple[str, dict[str, str]]:
-    """Split ``"name:k=v,k=v"`` into ``(name, raw params)``."""
+    """Split ``"name:k=v,k=v"`` into ``(name, raw params)``.
+
+    >>> split_spec("crash:count=2,at=100")
+    ('crash', {'count': '2', 'at': '100'})
+    >>> split_spec("uniform")
+    ('uniform', {})
+    """
     name, _, paramtext = spec.partition(":")
     name = name.strip()
     given: dict[str, str] = {}
@@ -138,7 +160,13 @@ def format_spec(
 
 def node_set(raw: Any) -> frozenset[int]:
     """Coerce a node-set value: ``"0..4+7"`` (inclusive ranges joined by
-    ``+``), a single int, or any iterable of ints."""
+    ``+``), a single int, or any iterable of ints.
+
+    >>> sorted(node_set("0..2+7"))
+    [0, 1, 2, 7]
+    >>> node_set(3) == frozenset({3})
+    True
+    """
     if isinstance(raw, int):
         raw = (raw,)
     if not isinstance(raw, str):
@@ -166,7 +194,11 @@ def node_set(raw: Any) -> frozenset[int]:
 
 
 def format_node_set(nodes: Iterable[int]) -> str:
-    """Canonical text of a node set: sorted runs, ``"0..4+7"`` style."""
+    """Canonical text of a node set: sorted runs, ``"0..4+7"`` style.
+
+    >>> format_node_set({7, 0, 1, 2})
+    '0..2+7'
+    """
     ordered = sorted(nodes)
     runs: list[tuple[int, int]] = []
     for u in ordered:
@@ -182,7 +214,11 @@ def format_node_set(nodes: Iterable[int]) -> str:
 def pair_list(raw: Any) -> tuple[tuple[int, int], ...]:
     """Coerce an ordered pair list: ``"0-1+1-2"`` or an iterable of
     2-sequences.  Orientation is preserved (rule resolution and symmetry
-    breaking are orientation-sensitive)."""
+    breaking are orientation-sensitive).
+
+    >>> pair_list("2-1+0-3")
+    ((2, 1), (0, 3))
+    """
     if isinstance(raw, str):
         items: list[tuple[int, int]] = []
         for part in raw.split("+"):
@@ -205,7 +241,11 @@ def pair_list(raw: Any) -> tuple[tuple[int, int], ...]:
 
 
 def format_pair_list(pairs: Iterable[tuple[int, int]]) -> str:
-    """Canonical text of an ordered pair list: ``"0-1+1-2"``."""
+    """Canonical text of an ordered pair list: ``"0-1+1-2"``.
+
+    >>> format_pair_list([(0, 1), (1, 2)])
+    '0-1+1-2'
+    """
     return "+".join(f"{u}-{v}" for u, v in pairs)
 
 

@@ -174,6 +174,26 @@ class Protocol:
         Used by tests; defaults to :meth:`stabilized`."""
         return self.stabilized(config)
 
+    def on_neighbor_crash(self, state: State) -> State | None:
+        """Fault-notification hook (Fault Tolerant Network Constructors,
+        Michail, Spirakis & Theofilatos 2019, Section 5): when a node
+        crash-stops, every surviving *neighbor* (a node that held an
+        active edge to the victim) is told so, once per lost edge, and
+        may change state in response.
+
+        Receives the survivor's current state and returns its new state,
+        or ``None`` to keep it unchanged.  The default — ``None`` for
+        every state — models the paper's notification-free setting, in
+        which constructions like the spanning line are not fault
+        tolerant; fault-aware protocols (e.g.
+        :class:`repro.protocols.ft_line.FTGlobalLine`) override it to
+        trigger their local repair machinery.  All engines apply the
+        hook identically, immediately after the victim's edges are
+        removed, so fault-aware runs stay distributionally equivalent
+        across engines.
+        """
+        return None
+
     def initial_configuration(self, n: int):
         """Build the initial configuration for ``n`` nodes.
 

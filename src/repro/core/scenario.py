@@ -19,6 +19,15 @@ uniform random scheduler, no faults, protocol-default initial
 configuration — specs without a scenario run bit-identically to the
 pre-scenario code paths.
 
+Every axis is canonicalized (and thereby validated) on construction:
+
+>>> from repro.core.scenario import Scenario
+>>> scenario = Scenario(scheduler="rr", faults=("crash-stop:count=2",))
+>>> scenario.scheduler, scenario.faults
+('round-robin', ('crash:at=0,count=2',))
+>>> scenario.is_default, Scenario().is_default
+(False, True)
+
 Engine routing
 --------------
 Engines declare what they can run via ``supports(scenario)``:
@@ -194,7 +203,11 @@ class Scenario:
         return any(not model.bounded for model in self.make_faults())
 
     def describe(self) -> str:
-        """One-line human-readable summary."""
+        """One-line human-readable summary.
+
+        >>> Scenario(faults="edge-drop:rate=0.01").describe()
+        'scheduler=uniform faults=edge-drop:rate=0.01'
+        """
         parts = [f"scheduler={self.scheduler}"]
         if self.faults:
             parts.append(f"faults={';'.join(self.faults)}")
@@ -252,6 +265,11 @@ def resolve_engine(
     falls back to the reference ``sequential`` engine (optionally
     warning) — never silently runs a non-uniform scheduler through a
     uniform-only fast path.
+
+    >>> resolve_engine("indexed", Scenario(faults="crash:count=1"), warn=False)
+    'indexed'
+    >>> resolve_engine("indexed", Scenario(scheduler="round-robin"), warn=False)
+    'sequential'
     """
     from repro.core.simulator import ENGINES
 

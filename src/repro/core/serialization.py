@@ -277,6 +277,123 @@ def load_sweep_result(path: str):
         return sweep_result_from_dict(json.load(handle))
 
 
+# ----------------------------------------------------------------------
+# Robustness sweeps (repro.analysis.robustness)
+# ----------------------------------------------------------------------
+
+def robustness_spec_to_dict(spec) -> dict:
+    return {
+        "version": 1,
+        "protocols": list(spec.protocols),
+        "loads": list(spec.loads),
+        "n": spec.n,
+        "trials": spec.trials,
+        "faults": spec.faults,
+        "at": spec.at,
+        "engine": spec.engine,
+        "measure": spec.measure,
+        "base_seed": spec.base_seed,
+        "max_steps": spec.max_steps,
+        "check_interval": spec.check_interval,
+        "label": spec.label,
+    }
+
+
+def robustness_spec_from_dict(payload: dict):
+    from repro.analysis.robustness import RobustnessSpec
+
+    if payload.get("version") != 1:
+        raise SerializationError(
+            f"unsupported robustness spec version {payload.get('version')!r}"
+        )
+    return RobustnessSpec(
+        protocols=tuple(payload["protocols"]),
+        loads=tuple(payload["loads"]),
+        n=payload["n"],
+        trials=payload["trials"],
+        faults=payload["faults"],
+        at=payload.get("at"),
+        engine=payload["engine"],
+        measure=payload["measure"],
+        base_seed=payload["base_seed"],
+        max_steps=payload["max_steps"],
+        check_interval=payload["check_interval"],
+        label=payload.get("label", ""),
+    )
+
+
+def robustness_record_to_dict(record) -> dict:
+    return {
+        "protocol": record.protocol,
+        "load": record.load,
+        "n": record.n,
+        "trial": record.trial,
+        "seed": record.seed,
+        "value": record.value,
+        "steps": record.steps,
+        "effective_steps": record.effective_steps,
+        "converged": record.converged,
+        "survived": record.survived,
+        "alive": record.alive,
+        "stop_reason": record.stop_reason,
+        "elapsed_seconds": record.elapsed_seconds,
+    }
+
+
+def robustness_record_from_dict(payload: dict):
+    from repro.analysis.robustness import RobustnessRecord
+
+    return RobustnessRecord(
+        protocol=payload["protocol"],
+        load=payload["load"],
+        n=payload["n"],
+        trial=payload["trial"],
+        seed=payload["seed"],
+        value=payload["value"],
+        steps=payload["steps"],
+        effective_steps=payload["effective_steps"],
+        converged=payload["converged"],
+        survived=payload["survived"],
+        alive=payload["alive"],
+        stop_reason=payload["stop_reason"],
+        elapsed_seconds=payload["elapsed_seconds"],
+    )
+
+
+def robustness_result_to_dict(result) -> dict:
+    return {
+        "version": 1,
+        "spec": robustness_spec_to_dict(result.spec),
+        "records": [robustness_record_to_dict(r) for r in result.records],
+    }
+
+
+def robustness_result_from_dict(payload: dict):
+    from repro.analysis.robustness import RobustnessResult
+
+    if payload.get("version") != 1:
+        raise SerializationError(
+            f"unsupported robustness result version {payload.get('version')!r}"
+        )
+    return RobustnessResult(
+        spec=robustness_spec_from_dict(payload["spec"]),
+        records=tuple(
+            robustness_record_from_dict(r) for r in payload["records"]
+        ),
+    )
+
+
+def dump_robustness_result(result, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(robustness_result_to_dict(result), handle, indent=2)
+        handle.write("\n")
+
+
+def load_robustness_result(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return robustness_result_from_dict(json.load(handle))
+
+
 def parallel_time(steps: int, n: int) -> float:
     """Convert sequential interaction steps to the paper's parallel-time
     estimate (footnote 5): Θ(n) interactions happen per parallel round in

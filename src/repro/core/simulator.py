@@ -48,10 +48,29 @@ event-driven engines cap their geometric skips at the plan's next event,
 so fault timing is exact without walking the skipped steps.  Crashed
 nodes move to the :data:`~repro.core.faults.DEAD` sentinel state, lose
 their edges, and leave the candidate-pair census; scheduler steps count
-picks among *alive* pairs only, identically in all engines.  A fault
-that changes the configuration counts as an output-graph change (it
-removes nodes or active edges), so ``convergence_time`` measures the
-*restabilization* time of the surviving population.
+picks among *alive* pairs only, identically in all engines.  Each
+surviving neighbor of a crash victim is notified through
+:meth:`~repro.core.protocol.Protocol.on_neighbor_crash` (the minimal
+strengthening of Fault Tolerant Network Constructors 2019) — a no-op
+for ordinary protocols, the repair trigger for fault-aware ones.  A
+fault that changes the configuration counts as an output-graph change
+(it removes nodes or active edges), so ``convergence_time`` measures
+the *restabilization* time of the surviving population.
+
+**Dynamic populations.**  The ``arrive``, ``recover`` and ``churn``
+fault models grow or shrink the alive population mid-run.  All three
+engines handle the population events identically: arriving nodes are
+appended to the configuration in the protocol's initial state
+(:meth:`Configuration.add_node`), recovering nodes leave ``DEAD`` for
+the initial state, and every engine re-derives its pair counts at the
+event — the sequential engine re-binds the scheduler's pair stream to
+the new population size, the agitated engine rescans the new node's
+partners, and the indexed engine files the node into its
+``PairClassIndex`` census.  Stabilization gates on the plan's
+*population horizon*: a certificate holding before a scheduled arrival
+or recovery does not end the run, and quiescence is never declared
+while a population-mutating plan has pending events (a joining node
+can create effective pairs out of nothing).
 """
 
 from __future__ import annotations
@@ -70,6 +89,17 @@ from repro.core.scheduler import Scheduler, UniformRandomScheduler
 from repro.core.trace import Event, Trace
 
 StopPredicate = Callable[[Configuration], bool]
+
+
+def _join_state(protocol: Protocol):
+    """The state in which arriving/recovering nodes join the run."""
+    state = protocol.initial_state
+    if state is None:
+        raise SimulationError(
+            f"{protocol.name} declares no initial_state; population events "
+            "(arrive/churn/recover) need one to initialize joining nodes"
+        )
+    return state
 
 
 @dataclass(frozen=True)
@@ -260,7 +290,6 @@ class SequentialSimulator:
         if cfg.n != n:
             raise SimulationError(f"configuration has {cfg.n} nodes, expected {n}")
         stabilized = stop if stop is not None else protocol.stabilized
-        pair_stream = self.scheduler.pairs(n, rng)
         steps = 0
         effective = 0
         last_change = 0
@@ -271,8 +300,11 @@ class SequentialSimulator:
         dead: set[int] = set()
         fault_next = plan.next_step(-1) if plan is not None else None
         horizon = plan.horizon if plan is not None else -1
+        stream_stale = False
+        notify = protocol.on_neighbor_crash
 
         def apply_fault_actions(at: int) -> bool:
+            nonlocal n, stream_stale
             changed = False
             alive = [u for u in range(n) if u not in dead]
             for action in plan.actions_at(at, cfg, alive):
@@ -282,40 +314,90 @@ class SequentialSimulator:
                             continue
                         for x in list(cfg.neighbors(w)):
                             cfg.set_edge(w, x, 0)
+                            new_state = notify(cfg.state(x))
+                            if new_state is not None:
+                                cfg.set_state(x, new_state)
                         cfg.set_state(w, DEAD)
                         dead.add(w)
                         changed = True
-                else:
+                elif action.kind == "cut":
                     for a, b in action.edges:
                         if a in dead or b in dead:
                             continue
                         if cfg.edge_state(a, b):
                             cfg.set_edge(a, b, 0)
                             changed = True
+                elif action.kind == "arrive":
+                    for _ in range(action.count):
+                        cfg.add_node(_join_state(protocol))
+                    n = cfg.n
+                    stream_stale = True
+                    changed = True
+                else:  # revive
+                    for w in action.nodes:
+                        if w in dead:
+                            cfg.set_state(w, _join_state(protocol))
+                            dead.discard(w)
+                            changed = True
             return changed
 
-        # Faults due before the first pick (at=0 crashes etc.).
+        def drain_faults() -> bool:
+            """Apply every event due at or before ``steps``; re-bind the
+            scheduler's pair stream if the population grew."""
+            nonlocal fault_next, pair_stream, stream_stale
+            changed = False
+            while fault_next is not None and fault_next <= steps:
+                changed |= apply_fault_actions(fault_next)
+                fault_next = plan.next_step(fault_next)
+            if stream_stale:
+                pair_stream = self.scheduler.pairs(n, rng)
+                stream_stale = False
+            return changed
+
+        # Faults due before the first pick (at=0 crashes, arrivals etc.).
         while fault_next is not None and fault_next <= 0:
             apply_fault_actions(fault_next)
             fault_next = plan.next_step(fault_next)
+        stream_stale = False
 
         if stabilized(cfg) and steps >= horizon:
             return RunResult(True, 0, 0, 0, 0, cfg, "stabilized", trace)
-        for u, v in pair_stream:
-            if steps >= max_steps:
-                break
-            if dead:
-                if n - len(dead) < 2:
-                    return RunResult(
-                        True, steps, effective, last_change,
-                        last_output_change, cfg, "quiescent", trace,
-                    )
-                if u in dead or v in dead:
-                    # Crashed nodes left the interaction graph: this pick
-                    # is redrawn without counting a step, so the clock
-                    # counts picks among alive pairs only — as in every
-                    # engine.
+        pair_stream = self.scheduler.pairs(n, rng)
+        while steps < max_steps:
+            if dead and n - len(dead) < 2:
+                if (
+                    plan is not None
+                    and plan.mutates_population
+                    and fault_next is not None
+                ):
+                    # No alive pair can advance the clock; jump it
+                    # straight to the next population event.
+                    if fault_next > max_steps:
+                        steps = max_steps
+                        break
+                    steps = fault_next
+                    if drain_faults():
+                        last_change = steps
+                        last_output_change = steps
+                    if steps >= horizon and stabilized(cfg) and (
+                        fault_next is None or fault_next > steps
+                    ):
+                        return RunResult(
+                            True, steps, effective, last_change,
+                            last_output_change, cfg, "stabilized", trace,
+                        )
                     continue
+                return RunResult(
+                    True, steps, effective, last_change,
+                    last_output_change, cfg, "quiescent", trace,
+                )
+            u, v = next(pair_stream)
+            if dead and (u in dead or v in dead):
+                # Crashed nodes left the interaction graph: this pick
+                # is redrawn without counting a step, so the clock
+                # counts picks among alive pairs only — as in every
+                # engine.
+                continue
             steps += 1
             result = apply_interaction(protocol, cfg, u, v, rng, steps)
             if result.changed:
@@ -328,11 +410,7 @@ class SequentialSimulator:
                     trace.record(result.event, cfg)
                 since_check += 1
             if fault_next is not None and fault_next <= steps:
-                fault_changed = False
-                while fault_next is not None and fault_next <= steps:
-                    fault_changed |= apply_fault_actions(fault_next)
-                    fault_next = plan.next_step(fault_next)
-                if fault_changed:
+                if drain_faults():
                     last_change = steps
                     last_output_change = steps
                 # Re-check even for a no-op fault: the certificate may
@@ -435,6 +513,8 @@ class AgitatedSimulator:
         fault_next = plan.next_step(-1) if plan is not None else None
         horizon = plan.horizon if plan is not None else -1
 
+        notify = protocol.on_neighbor_crash
+
         def refresh_node(w: int) -> None:
             sw = state(w)
             for x in range(n):
@@ -447,7 +527,7 @@ class AgitatedSimulator:
                     effective_pairs.discard(pair)
 
         def apply_fault_actions(at: int) -> bool:
-            nonlocal m
+            nonlocal m, n
             changed = False
             alive = [u for u in range(n) if u not in dead]
             for action in plan.actions_at(at, cfg, alive):
@@ -455,7 +535,8 @@ class AgitatedSimulator:
                     for w in action.nodes:
                         if w in dead:
                             continue
-                        for x in list(cfg.neighbors(w)):
+                        nbrs = list(cfg.neighbors(w))
+                        for x in nbrs:
                             cfg.set_edge(w, x, 0)
                         for x in range(n):
                             if x != w:
@@ -464,8 +545,13 @@ class AgitatedSimulator:
                                 )
                         cfg.set_state(w, DEAD)
                         dead.add(w)
+                        for x in nbrs:
+                            new_state = notify(state(x))
+                            if new_state is not None and new_state != state(x):
+                                cfg.set_state(x, new_state)
+                                refresh_node(x)
                         changed = True
-                else:
+                elif action.kind == "cut":
                     for a, b in action.edges:
                         if a in dead or b in dead or not edge_state(a, b):
                             continue
@@ -475,6 +561,25 @@ class AgitatedSimulator:
                             effective_pairs.add(pair)
                         else:
                             effective_pairs.discard(pair)
+                        changed = True
+                elif action.kind == "arrive":
+                    for _ in range(action.count):
+                        u_new = cfg.add_node(_join_state(protocol))
+                        n = cfg.n
+                        s_new = state(u_new)
+                        for x in range(u_new):
+                            if x in dead:
+                                continue
+                            if is_effective(s_new, state(x), 0):
+                                effective_pairs.add((x, u_new))
+                    changed = True
+                else:  # revive
+                    for w in action.nodes:
+                        if w not in dead:
+                            continue
+                        cfg.set_state(w, _join_state(protocol))
+                        dead.discard(w)
+                        refresh_node(w)
                         changed = True
             count = n - len(dead)
             m = count * (count - 1) // 2
@@ -513,10 +618,14 @@ class AgitatedSimulator:
             k = len(effective_pairs)
             if k == 0:
                 if fault_next is not None and (
-                    horizon > steps or cfg.n_active_edges > 0
+                    horizon > steps
+                    or cfg.n_active_edges > 0
+                    or plan.mutates_population
                 ):
                     # Nothing can change before the next fault event:
-                    # jump the clock straight to it.
+                    # jump the clock straight to it.  Population-mutating
+                    # plans always warrant the jump — an arrival can
+                    # create effective pairs out of nothing.
                     if max_steps is not None and fault_next > max_steps:
                         steps = max_steps
                         break
@@ -669,8 +778,10 @@ class IndexedSimulator:
         fault_next = plan.next_step(-1) if plan is not None else None
         horizon = plan.horizon if plan is not None else -1
 
+        notify = protocol.on_neighbor_crash
+
         def apply_fault_actions(at: int) -> bool:
-            nonlocal m
+            nonlocal m, n
             changed = False
             alive = [u for u in range(n) if u not in dead]
             for action in plan.actions_at(at, cfg, alive):
@@ -679,15 +790,26 @@ class IndexedSimulator:
                         if w in dead:
                             continue
                         sw = sid[w]
-                        for x in list(adj[w]):
+                        nbrs = list(adj[w])
+                        for x in nbrs:
                             index.remove_edge(w, x, sw, sid[x])
                             cfg.set_edge(w, x, 0)
                         index.remove_node(w, sw)
-                        index.refresh_involving({sw})
                         cfg.set_state(w, DEAD)
                         dead.add(w)
+                        dirty = {sw}
+                        for x in nbrs:
+                            new_state = notify(state_of(sid[x]))
+                            if new_state is None:
+                                continue
+                            new_id = intern(new_state)
+                            if new_id != sid[x]:
+                                dirty.add(sid[x])
+                                dirty.add(new_id)
+                                move_node(x, sid[x], new_id)
+                        index.refresh_involving(dirty)
                         changed = True
-                else:
+                elif action.kind == "cut":
                     for a, b in action.edges:
                         if a in dead or b in dead or not cfg.edge_state(a, b):
                             continue
@@ -695,6 +817,29 @@ class IndexedSimulator:
                         cfg.set_edge(a, b, 0)
                         index.refresh_pair(sid[a], sid[b])
                         changed = True
+                elif action.kind == "arrive":
+                    s_join = intern(_join_state(protocol))
+                    for _ in range(action.count):
+                        u_new = cfg.add_node(_join_state(protocol))
+                        sid.append(s_join)
+                        index.add_node(u_new, s_join)
+                    n = cfg.n
+                    index.refresh_involving({s_join})
+                    changed = True
+                else:  # revive
+                    revived_states = set()
+                    for w in action.nodes:
+                        if w not in dead:
+                            continue
+                        s_join = intern(_join_state(protocol))
+                        cfg.set_state(w, _join_state(protocol))
+                        sid[w] = s_join
+                        index.add_node(w, s_join)
+                        dead.discard(w)
+                        revived_states.add(s_join)
+                        changed = True
+                    if revived_states:
+                        index.refresh_involving(revived_states)
             count = n - len(dead)
             m = count * (count - 1) // 2
             return changed
@@ -733,10 +878,14 @@ class IndexedSimulator:
             k = index.total
             if k == 0:
                 if fault_next is not None and (
-                    horizon > steps or cfg.n_active_edges > 0
+                    horizon > steps
+                    or cfg.n_active_edges > 0
+                    or plan.mutates_population
                 ):
                     # Nothing can change before the next fault event:
-                    # jump the clock straight to it.
+                    # jump the clock straight to it.  Population-mutating
+                    # plans always warrant the jump — an arrival can
+                    # create effective pairs out of nothing.
                     if max_steps is not None and fault_next > max_steps:
                         steps = max_steps
                         break

@@ -6,6 +6,7 @@ Protocol                    states  expected time (paper)
 :class:`SimpleGlobalLine`   5       Ω(n⁴) and O(n⁵)
 :class:`FastGlobalLine`     9       O(n³)
 :class:`FasterGlobalLine`   6       open (experimental, Section 7)
+:class:`FTGlobalLine`       6       crash-tolerant line (FTNC 2019)
 :class:`LeaderDrivenLine`   —       Θ(n² log n), pre-elected leader
 :class:`CycleCover`         3       Θ(n²) — optimal
 :class:`GlobalStar`         2       Θ(n² log n) — optimal (size and time)
@@ -20,6 +21,7 @@ Protocol                    states  expected time (paper)
 
 from repro.protocols.cliques import CCliques
 from repro.protocols.cycle_cover import CycleCover
+from repro.protocols.ft_line import FTGlobalLine
 from repro.protocols.line import (
     FastGlobalLine,
     FasterGlobalLine,
@@ -35,6 +37,7 @@ from repro.protocols.star import GlobalStar
 __all__ = [
     "CCliques",
     "CycleCover",
+    "FTGlobalLine",
     "FastGlobalLine",
     "FasterGlobalLine",
     "GlobalRing",

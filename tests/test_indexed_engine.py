@@ -446,3 +446,84 @@ class TestDistributionalEquivalence:
             )
             assert result.converged
             assert config.edge_state(ops.d_agent(0), ops.d_agent(2)) == 1
+
+
+def _scenario_times(engine, protocol_factory, n, scenario, budget, seeds):
+    """Re-stabilization times of one engine over a faulted scenario."""
+    from repro.core.scenario import make_scenario_engine
+
+    times = []
+    for seed in seeds:
+        sim = make_scenario_engine(engine, seed, scenario)
+        result = sim.run(protocol_factory(), n, budget)
+        times.append(result.last_output_change_step)
+    return times
+
+
+class TestFaultedDistributionalEquivalence:
+    """The under-fault companion of :class:`TestDistributionalEquivalence`
+    (closes the ROADMAP open item): all three engines must sample the
+    same re-stabilization-time law when the scenario injects faults —
+    crash-stop with notifications, sustained edge deletion, and
+    population arrivals.  The fault stream is derived from the trial
+    seed identically in every engine, so disjoint seed ranges give
+    independent samples for the KS tests."""
+
+    TRIALS = 250
+
+    def _check(self, protocol_factory, n, scenario, budget):
+        from scipy.stats import ks_2samp
+
+        idx = _scenario_times(
+            "indexed", protocol_factory, n, scenario, budget,
+            range(self.TRIALS),
+        )
+        agit = _scenario_times(
+            "agitated", protocol_factory, n, scenario, budget,
+            range(10_000, 10_000 + self.TRIALS),
+        )
+        seq = _scenario_times(
+            "sequential", protocol_factory, n, scenario, budget,
+            range(20_000, 20_000 + self.TRIALS),
+        )
+        # Faulted re-stabilization times are heavy-tailed (one late
+        # fault can dominate a run), so the location check bands the
+        # median; the KS test compares the full law.
+        idx_median = statistics.median(idx)
+        for name, times in (("agitated", agit), ("sequential", seq)):
+            median = statistics.median(times)
+            assert abs(idx_median - median) / idx_median < 0.3, (
+                name, idx_median, median,
+            )
+            statistic, p_value = ks_2samp(idx, times)
+            assert p_value > 0.001, (name, statistic, p_value)
+
+    def test_crash_with_notifications(self):
+        from repro.core.scenario import Scenario
+        from repro.protocols import FTGlobalLine
+
+        # The fault-tolerant line exercises the on_neighbor_crash
+        # notification path of every engine and always re-stabilizes.
+        self._check(
+            FTGlobalLine, 10,
+            Scenario(faults=("crash:count=2,at=50",)), 500_000,
+        )
+
+    def test_edge_drop(self):
+        from repro.core.scenario import Scenario
+
+        self._check(
+            SimpleGlobalLine, 8,
+            Scenario(faults=("edge-drop:rate=0.002",)), 100_000,
+        )
+
+    def test_arrivals(self):
+        from repro.core.scenario import Scenario
+
+        # Population growth mid-run: the indexed census gains nodes, the
+        # agitated engine rescans, the sequential engine re-binds its
+        # pair stream — all three must agree in law.
+        self._check(
+            SimpleGlobalLine, 6,
+            Scenario(faults=("arrive:count=3,at=100",)), 500_000,
+        )

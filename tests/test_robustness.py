@@ -1,0 +1,242 @@
+"""Tests for the robustness-sweep layer: spec validation and expansion,
+paired seeding, survival/re-stabilization curves, dominance of the
+fault-tolerant line, JSON round-trips, executor equivalence, and the
+``repro-net robustness`` / ``bench --robustness`` surfaces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.robustness import (
+    FAULT_FAMILIES,
+    RobustnessResult,
+    RobustnessSpec,
+    run_robustness,
+    run_robustness_trial,
+)
+from repro.analysis.runner import ExperimentError
+from repro.cli import main
+from repro.core.serialization import (
+    dump_robustness_result,
+    load_robustness_result,
+)
+
+
+def _small_spec(**overrides) -> RobustnessSpec:
+    defaults = dict(
+        protocols=("simple-global-line", "ft-global-line"),
+        loads=(0, 1, 2),
+        n=14,
+        trials=4,
+        max_steps=2_000_000,
+    )
+    defaults.update(overrides)
+    return RobustnessSpec(**defaults)
+
+
+class TestRobustnessSpec:
+    def test_protocols_canonicalized(self):
+        spec = _small_spec(protocols=("fault-tolerant-global-line",))
+        assert spec.protocols == ("ft-global-line",)
+
+    def test_fault_at_defaults_to_n_squared(self):
+        assert _small_spec(n=14).fault_at == 196
+        assert _small_spec(at=77).fault_at == 77
+
+    def test_load_zero_is_the_faultless_baseline(self):
+        spec = _small_spec()
+        assert spec.fault_spec(0) is None
+        assert spec.scenario(0).is_default
+
+    def test_crash_loads_render_counts(self):
+        spec = _small_spec(at=100)
+        assert spec.fault_spec(2) == "crash:count=2,at=100"
+
+    def test_rate_families(self):
+        spec = _small_spec(faults="edge-drop", loads=(0, 0.01))
+        assert spec.fault_spec(0.01) == "edge-drop:rate=0.01"
+        spec = _small_spec(faults="churn", loads=(0.001,))
+        assert spec.fault_spec(0.001) == "churn:rate=0.001"
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="fault family"):
+            _small_spec(faults="meteor")
+        with pytest.raises(ExperimentError, match="max_steps"):
+            _small_spec(max_steps=None)
+        with pytest.raises(ExperimentError, match="integers"):
+            _small_spec(loads=(0, 0.5))  # crash loads are counts
+        with pytest.raises(ExperimentError, match="rates"):
+            _small_spec(faults="edge-drop", loads=(1.5,))
+        with pytest.raises(ExperimentError, match="protocol"):
+            _small_spec(protocols=())
+        with pytest.raises(ExperimentError, match="load"):
+            _small_spec(loads=())
+
+    def test_families_registry(self):
+        assert set(FAULT_FAMILIES) == {"crash", "edge-drop", "churn"}
+
+    def test_expansion_order_and_count(self):
+        spec = _small_spec(trials=3)
+        trials = spec.expand()
+        assert len(trials) == 2 * 3 * 3
+        assert trials[0].protocol == "simple-global-line"
+        assert [t.load for t in trials[:9]] == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_seeds_are_paired_across_protocols(self):
+        spec = _small_spec(trials=3)
+        by_protocol = {
+            p: [
+                (t.load, t.trial, t.seed, t.fault)
+                for t in spec.expand()
+                if t.protocol == p
+            ]
+            for p in spec.protocols
+        }
+        assert by_protocol["simple-global-line"] == by_protocol["ft-global-line"]
+
+    def test_spec_dict_round_trip(self):
+        spec = _small_spec(at=123, label="x")
+        assert RobustnessSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestRobustnessExecution:
+    @pytest.fixture(scope="class")
+    def result(self) -> RobustnessResult:
+        return run_robustness(_small_spec())
+
+    def test_survival_curves_and_dominance(self, result):
+        ft = result.survival_curve("ft-global-line")
+        plain = result.survival_curve("simple-global-line")
+        # Both protocols are identical without faults...
+        assert ft[0] == plain[0] == 1.0
+        # ...and the fault-tolerant one survives everything while the
+        # plain line loses runs as the crash load grows.
+        assert all(rate == 1.0 for rate in ft.values())
+        assert plain[2] < 1.0
+        assert result.dominates("ft-global-line", "simple-global-line")
+        assert not result.dominates("simple-global-line", "ft-global-line")
+
+    def test_restabilization_curve(self, result):
+        curve = result.restabilization_curve("ft-global-line")
+        assert set(curve) == {0, 1, 2}
+        assert all(v is not None and v > 0 for v in curve.values())
+
+    def test_records_are_complete(self, result):
+        assert len(result.records) == 2 * 3 * 4
+        for record in result.records:
+            assert record.steps <= result.spec.max_steps
+            assert record.alive == record.n - (
+                record.load if record.load else 0
+            )
+            if record.survived:
+                assert record.converged
+
+    def test_baseline_cells_identical_across_protocols(self, result):
+        # Load 0 runs the default scenario with paired seeds; the two
+        # line protocols have identical faultless dynamics, so their
+        # baseline cells must agree trial by trial.
+        plain = [
+            (r.trial, r.value, r.steps)
+            for r in result.records_for("simple-global-line", 0)
+        ]
+        ft = [
+            (r.trial, r.value, r.steps)
+            for r in result.records_for("ft-global-line", 0)
+        ]
+        assert plain == ft
+
+    def test_json_round_trip(self, result):
+        clone = RobustnessResult.from_json(result.to_json())
+        assert clone == result
+        assert clone.spec == result.spec
+
+    def test_dump_load_file(self, result, tmp_path):
+        path = tmp_path / "robustness.json"
+        dump_robustness_result(result, str(path))
+        assert load_robustness_result(str(path)) == result
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["spec"]["faults"] == "crash"
+
+    def test_executor_equivalence(self, result):
+        parallel = run_robustness(result.spec, jobs=2)
+        assert [r.deterministic() for r in parallel.records] == [
+            r.deterministic() for r in result.records
+        ]
+
+    def test_single_trial_matches_sweep(self, result):
+        trial = result.spec.expand()[0]
+        record = run_robustness_trial(trial)
+        assert record.deterministic() == result.records[0].deterministic()
+
+    def test_unknown_cell_raises(self, result):
+        with pytest.raises(ExperimentError, match="no records"):
+            result.survival_rate("ft-global-line", 99)
+
+
+class TestRobustnessAllEngines:
+    @pytest.mark.parametrize("engine", ["indexed", "agitated", "sequential"])
+    def test_grid_runs_on_every_engine(self, engine):
+        spec = _small_spec(
+            n=10, trials=2, loads=(0, 2), engine=engine,
+            max_steps=500_000,
+        )
+        result = run_robustness(spec)
+        assert len(result.records) == 8
+        assert result.survival_rate("ft-global-line", 2) == 1.0
+
+
+class TestRobustnessCli:
+    def test_cli_end_to_end(self, capsys, tmp_path):
+        out = tmp_path / "cli.json"
+        rc = main([
+            "robustness", "simple-global-line", "ft-global-line",
+            "--faults", "crash", "--loads", "0,2", "-n", "12",
+            "--trials", "3", "--max-steps", "2000000",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "survival" in text
+        assert "ft-global-line dominates simple-global-line" in text
+        loaded = load_robustness_result(str(out))
+        assert loaded.spec.loads == (0, 2)
+        assert loaded.dominates("ft-global-line", "simple-global-line")
+
+    def test_cli_defaults_budget(self, capsys):
+        rc = main([
+            "robustness", "ft-global-line", "--loads", "0", "-n", "8",
+            "--trials", "1",
+        ])
+        assert rc == 0
+        assert "defaulting --max-steps" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_family(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "robustness", "ft-global-line", "--faults", "meteor",
+                "--loads", "0",
+            ])
+
+
+class TestBenchRobustness:
+    def test_bench_record_and_formatting(self, tmp_path):
+        from repro.analysis.bench import (
+            bench_robustness,
+            format_bench_robustness,
+        )
+
+        out = tmp_path / "BENCH_robustness.json"
+        record = bench_robustness(
+            n=12, trials=2, loads=(0, 2), jobs=1, out=str(out),
+        )
+        assert record["schema"] == "repro-bench-robustness/1"
+        assert record["trial_count"] == 2 * 2 * 2
+        assert record["survival"]["ft-global-line"]["2"] == 1.0
+        assert record["survival_gap_at_top_load"]["gap"] >= 0
+        assert json.loads(out.read_text())["schema"] == record["schema"]
+        text = format_bench_robustness(record)
+        assert "survival gap" in text
+        assert "ft-global-line" in text

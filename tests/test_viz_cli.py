@@ -91,6 +91,58 @@ class TestCli:
         err = capsys.readouterr().err
         assert "unknown protocol" in err
 
+    def test_describe_scheduler_spec(self, capsys):
+        assert main(["describe", "laggard:bias=0.8,lagged=0..2"]) == 0
+        out = capsys.readouterr().out
+        assert "kind        : scheduler" in out
+        assert "canonical   : laggard:bias=0.8,lagged=0..2" in out
+        assert "bias: float = 0.8" in out
+
+    def test_describe_fault_spec(self, capsys):
+        assert main(["describe", "recover:count=2,at=10,delay=5"]) == 0
+        out = capsys.readouterr().out
+        assert "kind        : fault model" in out
+        assert "canonical   : recover:at=10,count=2,delay=5" in out
+
+    def test_describe_init_spec(self, capsys):
+        assert main(["describe", "doped:state=l"]) == 0
+        out = capsys.readouterr().out
+        assert "kind        : initial configuration" in out
+
+    def test_describe_bare_name_with_required_params(self, capsys):
+        # `list --faults` then `describe edge-drop` must work even
+        # though `rate` has no default: the entry is described with the
+        # parameter marked required, and no canonical line is shown.
+        assert main(["describe", "edge-drop"]) == 0
+        out = capsys.readouterr().out
+        assert "kind        : fault model" in out
+        assert "rate: probability (required)" in out
+        assert "canonical" not in out
+
+    def test_describe_unknown_param_on_known_fault(self, capsys):
+        assert main(["describe", "crash:impact=9"]) == 1
+        err = capsys.readouterr().err
+        assert "no parameter(s) ['impact']" in err
+
+    def test_describe_known_fault_with_bad_param_reports_fault_error(
+        self, capsys
+    ):
+        assert main(["describe", "crash:count=abc"]) == 1
+        err = capsys.readouterr().err
+        assert "parameter 'count' expects int" in err
+
+    def test_list_notes_unregistered_machines(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "not yet registered" in out
+        assert "tm/" in out and "universal" in out
+
+    def test_filtered_list_has_no_coverage_footer(self, capsys):
+        assert main(["list", "--faults"]) == 0
+        out = capsys.readouterr().out
+        assert "arrive" in out and "churn" in out and "recover" in out
+        assert "not yet registered" not in out
+
     def test_run_command(self, capsys):
         assert main(["run", "global-star", "-n", "8", "--seed", "1"]) == 0
         out = capsys.readouterr().out
