@@ -1,0 +1,16 @@
+"""Repo-root pytest configuration.
+
+Puts ``src/`` on ``sys.path`` (so a bare ``pytest`` works without
+``PYTHONPATH=src``) and loads the conformance plugin that parametrizes
+any ``conformance_case`` test over the full (registered protocol x
+check) grid — see ``repro.testing.plugin``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+pytest_plugins = ("repro.testing.plugin",)

@@ -38,7 +38,16 @@ scheduler, fault-model and initial-configuration specs alike)::
     repro-net list
     repro-net list --schedulers --faults --inits
     repro-net describe k-regular-connected
+    repro-net describe line-tm:program=parity
     repro-net describe crash:count=2,at=100
+
+Run the registry-wide conformance suite (state closure, rule-table
+totality/symmetry, compiled-table equivalence, three-engine cross-check,
+stabilization and under-fault invariants; see ``repro.testing``)::
+
+    repro-net conformance
+    repro-net conformance line-tm universal:family=connected
+    repro-net conformance --checks engines,stabilization --seeds 5
 """
 
 from __future__ import annotations
@@ -257,6 +266,27 @@ def _build_parser() -> argparse.ArgumentParser:
     list_p.add_argument(
         "--inits", action="store_true",
         help="list the initial-configuration registry instead",
+    )
+
+    conform_p = sub.add_parser(
+        "conformance",
+        help="run the registry-wide protocol conformance suite",
+    )
+    conform_p.add_argument(
+        "protocols", nargs="*", metavar="spec",
+        help="protocol specs to check (default: every registered protocol)",
+    )
+    conform_p.add_argument(
+        "--checks", default=None, metavar="NAMES",
+        help="comma-separated check names (default: all; see --list-checks)",
+    )
+    conform_p.add_argument(
+        "--seeds", type=int, default=None, metavar="N",
+        help="seeds per run-based check (default: 3)",
+    )
+    conform_p.add_argument(
+        "--list-checks", action="store_true",
+        help="list the available checks and exit",
     )
 
     describe_p = sub.add_parser(
@@ -481,14 +511,44 @@ def _cmd_list(args: argparse.Namespace) -> int:
         _print_registry_table(INITS.available(), "initial configurations")
     if not extra:
         _print_registry_table(registry.available())
-        # Registry-coverage gap (tracked in ROADMAP.md): the driven
-        # machines run through their own drivers, not spec strings.
+        # The PR-4-era registry-coverage gap is closed: the Theorem-14
+        # machines are first-class specs now.
         print(
-            "\nnot yet registered (driver-run only): the tm/ simulation "
-            "machines\n(repro.tm.machine, repro.tm.line_machine) and the "
-            "universal constructor\n(repro.generic.universal)"
+            "\nregistry coverage: complete — the tm/ machines and the "
+            "universal constructor\nrun as 'line-tm', 'tm-decider' and "
+            "'universal' specs; every entry above is\nexercised by "
+            "'repro-net conformance'"
         )
     return 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.testing import (
+        CHECKS,
+        DEFAULT_SETTINGS,
+        format_outcomes,
+        run_conformance,
+    )
+
+    if args.list_checks:
+        width = max(len(name) for name in CHECKS)
+        for name, fn in CHECKS.items():
+            summary = (fn.__doc__ or "").strip().split("\n")[0]
+            print(f"{name:<{width}}  {summary}")
+        return 0
+    settings = DEFAULT_SETTINGS
+    if args.seeds is not None:
+        from dataclasses import replace
+
+        settings = replace(settings, seeds=args.seeds)
+    outcomes = run_conformance(
+        specs=args.protocols or None,
+        checks=args.checks.split(",") if args.checks else None,
+        settings=settings,
+    )
+    print(format_outcomes(outcomes))
+    failed = [o for o in outcomes if not o.passed and not o.skipped]
+    return 1 if failed else 0
 
 
 def _describe_spec_entry(kind: str, registry_obj, spec: str) -> int:
@@ -617,6 +677,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "conformance":
+            return _cmd_conformance(args)
         if args.command == "describe":
             return _cmd_describe(args)
         if args.command == "run":

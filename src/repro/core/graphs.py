@@ -70,7 +70,18 @@ def _parse_graph_name(name: str) -> tuple[str, int, int | None]:
 def graph_spec(raw) -> str:
     """Coerce/canonicalize a named-graph spec string (registry param
     type).  Validation is syntactic — the graph itself is only built by
-    :func:`named_graph` when a run needs it."""
+    :func:`named_graph` when a run needs it.
+
+    >>> graph_spec("cycle-8")
+    'ring-8'
+    >>> graph_spec("complete-5")
+    'clique-5'
+    >>> graph_spec("blob-3")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown graph family 'blob' in 'blob-3'; choose from \
+['clique', 'path', 'ring', 'star', 'complete', 'cycle', 'line']
+    """
     family, k, seed = _parse_graph_name(raw)
     if family == "gnp":
         return f"gnp-{k}-{seed}"
@@ -86,6 +97,13 @@ def named_graph(name: str) -> nx.Graph:
     seeded draw from G(k, 1/2) (may be disconnected; constructions that
     need connectivity will reject it).  Raises :class:`ValueError` for
     unknown names, so registry param coercion reports a clean error.
+
+    >>> sorted(named_graph("path-3").edges())
+    [(0, 1), (1, 2)]
+    >>> named_graph("clique-4").number_of_edges()
+    6
+    >>> is_spanning_ring(named_graph("ring-5"))
+    True
     """
     family, k, seed = _parse_graph_name(name)
     if family == "gnp":

@@ -19,13 +19,17 @@ mirroring the protocol registry: spec strings like ``"uniform"``,
 ``"round-robin"`` or ``"laggard:bias=0.9,lagged=0..4"`` name a
 parameterized scheduler, round-trip through JSON (they are plain
 strings) and are the ``scheduler`` axis of a
-:class:`~repro.core.scenario.Scenario`::
+:class:`~repro.core.scenario.Scenario`:
 
-    from repro.core.scheduler import SCHEDULERS
-
-    SCHEDULERS.instantiate("laggard:bias=0.9,lagged=0..4")
-    SCHEDULERS.canonical("rr")          # -> "round-robin"
-    SCHEDULERS.names()                  # all registered schedulers
+>>> from repro.core.scheduler import SCHEDULERS
+>>> SCHEDULERS.canonical("rr")
+'round-robin'
+>>> SCHEDULERS.canonical("laggard:lagged=0..2")
+'laggard:bias=0.9,lagged=0..2'
+>>> SCHEDULERS.instantiate("laggard:bias=0.8,lagged=0..4").bias
+0.8
+>>> SCHEDULERS.names()
+['laggard', 'round-robin', 'scripted', 'uniform']
 """
 
 from __future__ import annotations
@@ -117,7 +121,13 @@ class UniformRandomScheduler(Scheduler):
 class RoundRobinScheduler(Scheduler):
     """Deterministic fair scheduler: sweeps a permutation of all pairs,
     reshuffling between sweeps.  Every pair occurs once per ``n(n-1)/2``
-    steps, so every execution is fair."""
+    steps, so every execution is fair.
+
+    >>> import random
+    >>> stream = RoundRobinScheduler().pairs(3, random.Random(0))
+    >>> sorted(next(stream) for _ in range(3))
+    [(0, 1), (0, 2), (1, 2)]
+    """
 
     def pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
         self._check(n)

@@ -32,7 +32,11 @@ from repro.generic.supernodes import (
     realize_supernode_network,
     triangle_partition,
 )
-from repro.generic.universal import UniversalConstructor, UniversalReport
+from repro.generic.universal import (
+    UniversalConstructor,
+    UniversalProtocol,
+    UniversalReport,
+)
 
 __all__ = [
     "ACTIVATE",
@@ -48,6 +52,7 @@ __all__ = [
     "UDMPartition",
     "UDPartition",
     "UniversalConstructor",
+    "UniversalProtocol",
     "UniversalReport",
     "chi_square_critical",
     "chi_square_uniformity",

@@ -207,14 +207,19 @@ class AddressedEdgeOps(Protocol):
     def operation_complete(self, config: Configuration) -> bool:
         """No selection, marking or acknowledgement in flight."""
         for u in range(config.n):
-            role, phase, _ = config.state(u)
-            if phase not in ("idle", "acked"):
+            state = config.state(u)
+            if not isinstance(state, tuple):
+                continue  # the DEAD sentinel under crash faults
+            if state[1] not in ("idle", "acked"):
                 return False
         return True
 
     def clear_acks(self, config: Configuration) -> None:
         for u in range(config.n):
-            role, phase, op = config.state(u)
+            state = config.state(u)
+            if not isinstance(state, tuple):
+                continue  # the DEAD sentinel under crash faults
+            role, phase, op = state
             if phase == "acked":
                 config.set_state(u, (role, "idle", None))
 

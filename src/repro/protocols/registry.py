@@ -109,7 +109,9 @@ _ALIASES: dict[str, str] = {}
 _PROTOCOL_MODULES = (
     "repro.protocols",
     "repro.generic.linear_waste",
+    "repro.generic.universal",
     "repro.processes",
+    "repro.tm.protocols",
 )
 
 _populated = False

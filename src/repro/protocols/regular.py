@@ -96,6 +96,8 @@ class KRegularConnected(TableProtocol):
         low: list[int] = []
         for u in range(config.n):
             s = config.state(u)
+            if s[0] not in "ql" or not s[1:].isdigit():
+                continue  # e.g. the DEAD sentinel under crash faults
             idx = int(s[1:])
             if (s[0] == "q" and idx < k) or (s[0] == "l" and idx < k):
                 low.append(u)

@@ -1,0 +1,46 @@
+"""Registry-driven protocol conformance kit.
+
+Every protocol that registers itself in
+:mod:`repro.protocols.registry` is automatically exercised by the
+checkers in :mod:`repro.testing.conformance`: finite state-space
+closure, rule-table totality and orientation symmetry,
+``Protocol.compile()`` vs interpreted-transition equivalence, a
+three-engine cross-check, stabilization (and target) predicates, and
+structural invariants under crash/arrival faults.  The same cases back
+three surfaces:
+
+* the parametrized pytest suite (``tests/test_conformance.py``, fed by
+  the :mod:`repro.testing.plugin` pytest plugin),
+* the ``repro-net conformance`` CLI subcommand,
+* direct library use (:func:`run_conformance`).
+"""
+
+from repro.testing.conformance import (
+    CHECKS,
+    DEFAULT_SETTINGS,
+    CheckOutcome,
+    ConformanceCase,
+    ConformanceError,
+    ConformanceSettings,
+    conformance_cases,
+    conformance_population,
+    conformance_specs,
+    format_outcomes,
+    iter_protocol_classes,
+    run_conformance,
+)
+
+__all__ = [
+    "CHECKS",
+    "CheckOutcome",
+    "ConformanceCase",
+    "ConformanceError",
+    "ConformanceSettings",
+    "DEFAULT_SETTINGS",
+    "conformance_cases",
+    "conformance_population",
+    "conformance_specs",
+    "format_outcomes",
+    "iter_protocol_classes",
+    "run_conformance",
+]

@@ -1,0 +1,27 @@
+"""Pytest plugin: parametrize tests over the registry-wide conformance
+grid.
+
+Loaded from the repo-root ``conftest.py`` via ``pytest_plugins =
+("repro.testing.plugin",)``.  Any test function that takes a
+``conformance_case`` argument is expanded into one test per
+(registered protocol x conformance check) cell::
+
+    def test_protocol_conformance(conformance_case):
+        outcome = conformance_case.run()
+        assert outcome.passed, outcome.detail
+
+New protocols registered via ``@register_protocol`` appear in the grid
+automatically — no test edits required.
+"""
+
+from __future__ import annotations
+
+from repro.testing.conformance import conformance_cases
+
+
+def pytest_generate_tests(metafunc) -> None:
+    if "conformance_case" in metafunc.fixturenames:
+        cases = conformance_cases()
+        metafunc.parametrize(
+            "conformance_case", cases, ids=[case.id for case in cases]
+        )

@@ -206,7 +206,10 @@ class LineMachineProtocol(Protocol):
     def verdict(self, config: Configuration) -> str | None:
         """'accept' / 'reject' once the simulated machine halted."""
         for u in range(config.n):
-            head = head_of(config.state(u))
+            state = config.state(u)
+            if not isinstance(state, tuple):
+                continue  # the DEAD sentinel under crash faults
+            head = head_of(state)
             if head is not None and head[0] == "halt":
                 return head[1]
         return None

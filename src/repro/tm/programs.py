@@ -69,6 +69,26 @@ def count_population_machine() -> TuringMachine:
     )
 
 
+def parity_machine() -> TuringMachine:
+    """Accept iff the number of free cells of ``^ _ ... _ $`` is even.
+
+    A single rightward scan toggling a one-bit control state per blank —
+    the smallest non-trivial line program (3 control states plus the
+    halting pair), handy as the default smoke program for the registered
+    ``line-tm`` protocol.
+    """
+    transitions = {
+        ("start", LEFT_END): ("even", LEFT_END, RIGHT),
+        ("even", BLANK): ("odd", BLANK, RIGHT),
+        ("odd", BLANK): ("even", BLANK, RIGHT),
+        ("even", RIGHT_END): ("accept", RIGHT_END, STAY),
+        ("odd", RIGHT_END): ("reject", RIGHT_END, STAY),
+    }
+    return TuringMachine(
+        name="TM-parity", transitions=transitions, start="start"
+    )
+
+
 def counting_tape(n: int) -> list[str]:
     """The initial tape for a line of ``n`` agents: ``^ _ ... _ $``."""
     if n < 3:

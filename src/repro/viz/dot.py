@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.configuration import Configuration
+from repro.core.faults import DEAD
 from repro.core.trace import Trace
 
 
@@ -12,14 +13,22 @@ def configuration_to_dot(
     highlight_states: frozenset | set | None = None,
 ) -> str:
     """DOT source for the active graph; nodes labeled with their states,
-    nodes in ``highlight_states`` drawn filled."""
+    nodes in ``highlight_states`` drawn filled.  Crash victims (the
+    :data:`~repro.core.faults.DEAD` sentinel) render as grayed-out
+    ``dead`` nodes so post-fault configurations stay readable."""
     highlight = highlight_states or set()
     lines = [f"graph {name} {{", "  node [shape=circle];"]
     for u in range(config.n):
         state = config.state(u)
-        attrs = [f'label="{u}:{state}"']
-        if state in highlight:
-            attrs.append('style=filled fillcolor=lightblue')
+        if state == DEAD:
+            attrs = [
+                f'label="{u}:dead"',
+                'style=filled fillcolor=gray80 fontcolor=gray30',
+            ]
+        else:
+            attrs = [f'label="{u}:{state}"']
+            if state in highlight:
+                attrs.append('style=filled fillcolor=lightblue')
         lines.append(f"  {u} [{' '.join(attrs)}];")
     for u, v in sorted(config.active_edges()):
         lines.append(f"  {u} -- {v};")

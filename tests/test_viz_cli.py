@@ -71,6 +71,80 @@ class TestDot:
         assert len(frames) == 1 and "graph" in frames[0]
 
 
+class TestFaultedRenderings:
+    """DEAD nodes and mid-run population events through every renderer
+    (previously only the clean path was exercised)."""
+
+    @pytest.fixture
+    def crashed_config(self):
+        """A star whose center crashed: survivors isolated, center DEAD."""
+        from repro.core.faults import DEAD
+
+        config = Configuration(
+            ["c", "p", "p", "p"], [(0, 1), (0, 2), (0, 3)]
+        )
+        for v in (1, 2, 3):
+            config.set_edge(0, v, 0)
+        config.set_state(0, DEAD)
+        return config
+
+    def test_state_summary_counts_dead_nodes(self, crashed_config):
+        text = state_summary(crashed_config)
+        assert "__dead__:1" in text and "p:3" in text
+
+    def test_component_summary_renders_dead_isolates(self, crashed_config):
+        text = component_summary(crashed_config)
+        assert "isolated" in text and "__dead__" in text
+
+    def test_dot_grays_out_dead_nodes(self, crashed_config):
+        dot = configuration_to_dot(crashed_config, highlight_states={"p"})
+        assert '0 [label="0:dead" style=filled fillcolor=gray80' in dot
+        assert "lightblue" in dot  # highlights still apply to survivors
+        assert "--" not in dot.replace("__dead__", "")  # no active edges
+
+    def test_adjacency_art_after_crash(self, crashed_config):
+        art = adjacency_art(crashed_config)
+        assert "#" not in art  # every active edge died with the center
+
+    def test_real_crash_run_renders_end_to_end(self):
+        from repro.core.faults import DEAD
+        from repro.core.scenario import Scenario
+        from repro.core.simulator import run_to_convergence
+        from repro.protocols import SimpleGlobalLine
+
+        result = run_to_convergence(
+            SimpleGlobalLine(), 10, seed=3, max_steps=2_000_000,
+            scenario=Scenario(faults=("crash:count=2,at=100",)),
+        )
+        config = result.config
+        assert sum(config.state(u) == DEAD for u in range(config.n)) == 2
+        dot = configuration_to_dot(config)
+        assert dot.count("fillcolor=gray80") == 2
+        assert "__dead__:2" in state_summary(config)
+
+    def test_population_growth_renders_mid_run_snapshots(self):
+        from repro.core.scenario import Scenario
+        from repro.core.simulator import run_to_convergence
+        from repro.core.trace import Trace
+        from repro.protocols import CycleCover
+
+        trace = Trace(snapshot_predicate=lambda step, cfg: True)
+        result = run_to_convergence(
+            CycleCover(), 6, seed=1, max_steps=2_000_000,
+            scenario=Scenario(faults=("arrive:count=3,at=400",)),
+            trace=trace,
+        )
+        assert result.config.n == 9
+        sizes = {config.n for _, config in trace.snapshots}
+        assert 6 in sizes and 9 in sizes  # frames straddle the arrival
+        frames = trace_to_dot_frames(trace)
+        assert len(frames) == len(trace.snapshots)
+        assert any(frame.count("label=") == 9 for frame in frames)
+        # The grown population renders through the text pipeline too.
+        assert len(state_summary(result.config)) > 0
+        assert component_summary(result.config)
+
+
 class TestCli:
     def test_list_command_renders_registry(self, capsys):
         assert main(["list"]) == 0
@@ -131,17 +205,81 @@ class TestCli:
         err = capsys.readouterr().err
         assert "parameter 'count' expects int" in err
 
-    def test_list_notes_unregistered_machines(self, capsys):
+    def test_list_reports_closed_registry_coverage(self, capsys):
+        # The PR-4-era "driver-run only" gap note is gone: the tm/ and
+        # universal machines are first-class registry entries now.
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "not yet registered" in out
-        assert "tm/" in out and "universal" in out
+        assert "not yet registered" not in out
+        assert "registry coverage: complete" in out
+        assert "line-tm" in out and "tm-decider" in out and "universal" in out
 
     def test_filtered_list_has_no_coverage_footer(self, capsys):
         assert main(["list", "--faults"]) == 0
         out = capsys.readouterr().out
         assert "arrive" in out and "churn" in out and "recover" in out
-        assert "not yet registered" not in out
+        assert "registry coverage" not in out
+
+    def test_describe_line_tm_spec(self, capsys):
+        assert main(["describe", "line-tm:program=count"]) == 0
+        out = capsys.readouterr().out
+        assert "class       : repro.tm.protocols.LineTM" in out
+        assert "program: str = count" in out
+        assert "named line program" in out
+
+    def test_describe_universal_shorthand(self, capsys):
+        assert main(["describe", "universal-connected"]) == 0
+        out = capsys.readouterr().out
+        assert "name        : universal" in out
+        assert "family: str = connected" in out
+        assert "shorthand   : universal-(?P<family>[a-z0-9-]+)" in out
+
+    def test_describe_tm_decider_defaults(self, capsys):
+        assert main(["describe", "tm-decider"]) == 0
+        out = capsys.readouterr().out
+        assert "machine: str = has-edge" in out
+        assert "graph: graph_spec = ring-4" in out
+
+    def test_describe_bad_line_program_reports_choices(self, capsys):
+        assert main(["describe", "line-tm:program=warp"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown line program 'warp'" in err
+        assert "parity" in err
+
+    def test_describe_bad_universal_family_reports_choices(self, capsys):
+        assert main(["describe", "universal:family=warp"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown graph language 'warp'" in err
+        assert "even-edges" in err
+
+    def test_describe_python_decider_rejected_for_tm_decider(self, capsys):
+        # 'connected' exists as a decider but has no raw TM to put on a
+        # line; the error must say so, not "unknown protocol".
+        assert main(["describe", "tm-decider:machine=connected"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown raw-TM decider 'connected'" in err
+
+    def test_run_line_tm_through_the_cli(self, capsys):
+        assert main(["run", "line-tm:program=parity", "-n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Line-TM[parity]" in out
+        assert "target reached: True" in out
+
+    def test_conformance_command_passes_and_fails_cleanly(self, capsys):
+        assert main(
+            ["conformance", "global-star", "--checks", "registry,rule-table"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "global-star" in out and "PASS" in out
+        assert main(["conformance", "--checks", "no-such-check"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown check" in err
+
+    def test_conformance_list_checks(self, capsys):
+        assert main(["conformance", "--list-checks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("registry", "rule-table", "engines", "faults"):
+            assert name in out
 
     def test_run_command(self, capsys):
         assert main(["run", "global-star", "-n", "8", "--seed", "1"]) == 0
