@@ -283,79 +283,113 @@ def bench_runner(
 
 
 # ----------------------------------------------------------------------
-# Robustness benchmark (fault-load sweep: plain vs fault-tolerant line)
+# Robustness benchmark (fault-load grid: plain vs fault-tolerant vs
+# redundancy-coded line, across fault families)
 # ----------------------------------------------------------------------
 
-#: Default robustness workload: the Protocol 1 line vs its FTNC-2019
-#: fault-tolerant variant under increasing crash load.
+#: Default robustness contestants: the Protocol 1 line, its FTNC-2019
+#: fault-tolerant variant, and the redundancy-coded adversarial variant.
 ROBUSTNESS_PROTOCOLS: tuple[str, ...] = (
-    "simple-global-line", "ft-global-line",
+    "simple-global-line", "ft-global-line", "rc-global-line",
 )
-ROBUSTNESS_LOADS: tuple[float, ...] = (0, 1, 2, 4)
-ROBUSTNESS_N = 24
+#: Default fault-family grid: family -> swept loads.  Load units follow
+#: :data:`repro.analysis.robustness.FAULT_FAMILIES` — crash/byzantine
+#: loads are node counts, the sustained families are per-step (or, for
+#: ``edge-rate``, per-edge per-step) rates.  The rate loads are tuned
+#: to the bench population (n = 64): high enough to strike during
+#: construction, spanning the band where the dissolve-repair line
+#: degrades but crown repair still holds.
+ROBUSTNESS_FAMILIES: dict[str, tuple[float, ...]] = {
+    "crash": (0, 1, 2, 4),
+    "edge-drop": (0, 0.00001, 0.0001, 0.0003),
+    "edge-rate": (0, 0.0000001, 0.000001, 0.000003),
+    "churn": (0, 0.000001, 0.000003, 0.00001),
+    "byzantine": (0, 1, 2, 4),
+}
+ROBUSTNESS_N = 64
 ROBUSTNESS_BUDGET = 20_000_000
 
 
 def bench_robustness(
     *,
     protocols: tuple[str, ...] = ROBUSTNESS_PROTOCOLS,
-    loads: tuple[float, ...] = ROBUSTNESS_LOADS,
+    families: dict[str, tuple[float, ...]] | None = None,
     n: int = ROBUSTNESS_N,
     trials: int = 4,
-    faults: str = "crash",
     jobs: int = 1,
     base_seed: int = 0,
     out: str | None = None,
 ) -> dict:
-    """Run a small robustness sweep and return (optionally write) the
-    record — survival and re-stabilization curves per protocol, plus the
-    wall-clock cost of the grid.
+    """Run the paired-seed robustness grid across fault families and
+    return (optionally write) the record — survival and
+    re-stabilization curves per protocol per family, plus every
+    pairwise :meth:`~repro.analysis.robustness.RobustnessResult.dominates`
+    verdict.
 
-    The headline is the survival gap at the highest load: the
-    fault-tolerant constructor should hold a spanning line over the
-    survivors where the plain protocol strands leaderless fragments.
+    The headline is the dominance matrix: the redundancy-coded
+    constructor should dominate both line baselines under the
+    adversarial families (byzantine corruption, sustained edge loss),
+    and the fault-tolerant constructor should dominate the plain one
+    under crash load.
     """
     from repro.analysis.robustness import RobustnessSpec, run_robustness
 
-    spec = RobustnessSpec(
-        protocols=protocols,
-        loads=loads,
-        n=n,
-        trials=trials,
-        faults=faults,
-        base_seed=base_seed,
-        max_steps=ROBUSTNESS_BUDGET,
-        label="robustness-crash-sweep",
-    )
-    start = time.perf_counter()
-    result = run_robustness(spec, jobs=jobs)
-    elapsed = time.perf_counter() - start
-    top = max(loads)
-    record = {
-        "schema": "repro-bench-robustness/1",
+    if families is None:
+        families = dict(ROBUSTNESS_FAMILIES)
+    record: dict = {
+        "schema": "repro-bench-robustness/2",
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "jobs": jobs,
-        "spec": spec.to_dict(),
-        "trial_count": len(result.records),
-        "elapsed_seconds": elapsed,
-        "survival": {
-            p: {str(load): rate for load, rate in result.survival_curve(p).items()}
-            for p in spec.protocols
-        },
-        "restabilization": {
-            p: {
-                str(load): value
-                for load, value in result.restabilization_curve(p).items()
-            }
-            for p in spec.protocols
-        },
-        "survival_gap_at_top_load": {
-            "load": top,
-            "gap": result.survival_rate(spec.protocols[-1], top)
-            - result.survival_rate(spec.protocols[0], top),
-        },
+        "n": n,
+        "trials": trials,
+        "protocols": list(protocols),
+        "families": {},
+        "elapsed_seconds": 0.0,
     }
+    total_start = time.perf_counter()
+    for family, loads in families.items():
+        spec = RobustnessSpec(
+            protocols=protocols,
+            loads=loads,
+            n=n,
+            trials=trials,
+            faults=family,
+            base_seed=base_seed,
+            max_steps=ROBUSTNESS_BUDGET,
+            label=f"robustness-{family}-sweep",
+        )
+        start = time.perf_counter()
+        result = run_robustness(spec, jobs=jobs)
+        elapsed = time.perf_counter() - start
+        record["families"][family] = {
+            "spec": spec.to_dict(),
+            "trial_count": len(result.records),
+            "elapsed_seconds": elapsed,
+            "survival": {
+                p: {
+                    str(load): rate
+                    for load, rate in result.survival_curve(p).items()
+                }
+                for p in spec.protocols
+            },
+            "restabilization": {
+                p: {
+                    str(load): value
+                    for load, value in result.restabilization_curve(p).items()
+                }
+                for p in spec.protocols
+            },
+            "dominates": {
+                challenger: {
+                    baseline: result.dominates(challenger, baseline)
+                    for baseline in spec.protocols
+                    if baseline != challenger
+                }
+                for challenger in spec.protocols
+            },
+        }
+    record["elapsed_seconds"] = time.perf_counter() - total_start
     if out is not None:
         with open(out, "w", encoding="utf-8") as handle:
             json.dump(record, handle, indent=2, sort_keys=False)
@@ -364,27 +398,33 @@ def bench_robustness(
 
 
 def format_bench_robustness(record: dict) -> str:
-    """Human-readable table of a :func:`bench_robustness` record."""
-    spec = record["spec"]
-    loads = [str(load) for load in spec["loads"]]
-    width = max(len(p) for p in spec["protocols"]) + 2
-    lines = [
-        f"robustness     : {spec['faults']} loads={','.join(loads)} "
-        f"n={spec['n']} trials={spec['trials']}",
-        f"{'survival':<{width}} " + " ".join(f"{x:>8}" for x in loads),
-    ]
-    for p in spec["protocols"]:
-        curve = record["survival"][p]
+    """Human-readable tables of a :func:`bench_robustness` record."""
+    lines: list[str] = []
+    for family, fam in record["families"].items():
+        spec = fam["spec"]
+        loads = [str(load) for load in spec["loads"]]
+        width = max(len(p) for p in spec["protocols"]) + 2
         lines.append(
-            f"{p:<{width}} "
-            + " ".join(f"{curve[x]:>8.2f}" for x in loads)
+            f"robustness     : {family} loads={','.join(loads)} "
+            f"n={spec['n']} trials={spec['trials']}"
         )
-    headline = record["survival_gap_at_top_load"]
-    lines.append(
-        f"\nsurvival gap @ load {headline['load']}: {headline['gap']:+.2f} "
-        f"({spec['protocols'][-1]} vs {spec['protocols'][0]}) "
-        f"in {record['elapsed_seconds']:.1f} s"
-    )
+        lines.append(
+            f"{'survival':<{width}} " + " ".join(f"{x:>9}" for x in loads)
+        )
+        for p in spec["protocols"]:
+            curve = fam["survival"][p]
+            lines.append(
+                f"{p:<{width}} "
+                + " ".join(f"{curve[x]:>9.2f}" for x in loads)
+            )
+        for challenger, verdicts in fam["dominates"].items():
+            beaten = sorted(b for b, wins in verdicts.items() if wins)
+            if beaten:
+                lines.append(
+                    f"  {challenger} dominates {', '.join(beaten)}"
+                )
+        lines.append("")
+    lines.append(f"total: {record['elapsed_seconds']:.1f} s")
     return "\n".join(lines)
 
 

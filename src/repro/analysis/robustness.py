@@ -8,9 +8,11 @@ This module makes such a grid a value, mirroring the sweep layer of
 :mod:`repro.analysis.runner`:
 
 * a frozen :class:`RobustnessSpec` names the competing protocols, one
-  **fault family** (``crash``, ``edge-drop`` or ``churn``) and the
-  **loads** to sweep it over — each load expands to a concrete
-  :class:`~repro.core.scenario.Scenario` via :data:`FAULT_FAMILIES`;
+  **fault family** (``crash``, ``edge-drop``, ``edge-rate``, ``churn``
+  or ``byzantine``), the **loads** to sweep it over, and optionally an
+  adversarial **scheduler** (e.g. ``targeted:aim=leader``) — each load
+  expands to a concrete :class:`~repro.core.scenario.Scenario` via
+  :data:`FAULT_FAMILIES`;
 * :func:`run_robustness` expands the spec into independent
   :class:`RobustnessTrial` s and executes them serially or across cores
   (same order-preserving contract as the sweep executors);
@@ -51,10 +53,12 @@ from repro.analysis.runner import (
 )
 from repro.core.faults import compact_survivors, survivors
 from repro.core.scenario import (
+    DEFAULT_SCHEDULER,
     Scenario,
     make_scenario_engine,
     resolve_engine,
 )
+from repro.core.scheduler import SCHEDULERS
 from repro.core.simulator import ENGINES, make_engine
 from repro.protocols import registry
 
@@ -87,6 +91,33 @@ def _churn_family(load: float, at: int) -> str | None:
     return f"churn:rate={load}" if load else None
 
 
+def _edge_rate_family(load: float, at: int) -> str | None:
+    if load < 0 or load >= 1:
+        raise ExperimentError(
+            f"edge-rate loads are per-edge per-step rates in [0, 1), "
+            f"got {load!r}"
+        )
+    return f"edge-rate:rate={load}" if load else None
+
+
+def _byzantine_family(load: float, at: int) -> str | None:
+    count = int(load)
+    if count != load or count < 0:
+        raise ExperimentError(
+            f"byzantine loads are node counts (integers >= 0), got {load!r}"
+        )
+    # Fixed corruption cadence and mode so the load axis sweeps the
+    # *number* of byzantine nodes only — the dimension the FTNC line of
+    # work varies.  random-state is the strongest standard mode (any
+    # claimed state), the model's default edge-lie probability applies,
+    # and the cadence is pinned well below the model default so that a
+    # run at bench scale (n = 64) absorbs a handful of corruptions
+    # rather than being corrupted faster than any repair can converge.
+    if not count:
+        return None
+    return f"byzantine:count={count},mode=random-state,rate=0.00001"
+
+
 #: Fault family name -> ``(load, at) -> fault spec`` (``None`` at load 0:
 #: the baseline cell runs the default fault-free scenario).  ``at`` is
 #: the scheduled step of one-shot families; sustained families (rates)
@@ -94,11 +125,13 @@ def _churn_family(load: float, at: int) -> str | None:
 FAULT_FAMILIES: dict[str, Callable[[float, int], str | None]] = {
     "crash": _crash_family,
     "edge-drop": _edge_drop_family,
+    "edge-rate": _edge_rate_family,
     "churn": _churn_family,
+    "byzantine": _byzantine_family,
 }
 
 #: Sustained families whose positive loads perturb the run forever.
-UNBOUNDED_FAMILIES = frozenset({"edge-drop", "churn"})
+UNBOUNDED_FAMILIES = frozenset({"edge-drop", "edge-rate", "churn", "byzantine"})
 
 
 def _format_load(load: float) -> float | int:
@@ -116,11 +149,15 @@ class RobustnessSpec:
 
     ``protocols`` are registry spec strings (canonicalized on
     construction); ``faults`` names a :data:`FAULT_FAMILIES` entry and
-    ``loads`` the strengths to sweep it over (crash: node counts;
-    edge-drop/churn: per-step rates; load ``0`` is the fault-free
-    baseline cell).  ``at`` is the step at which one-shot faults fire —
-    ``None`` defaults to ``n * n``, early enough that partial structures
-    exist to damage, late enough that the construction has started.
+    ``loads`` the strengths to sweep it over (crash/byzantine: node
+    counts; edge-drop/edge-rate/churn: per-step rates; load ``0`` is
+    the fault-free baseline cell).  ``at`` is the step at which
+    one-shot faults fire — ``None`` defaults to ``n * n``, early
+    enough that partial structures exist to damage, late enough that
+    the construction has started.  ``scheduler`` runs every cell under
+    a non-default (typically adversarial) scheduler spec; non-uniform
+    schedulers force the sequential reference engine via
+    :func:`~repro.core.scenario.resolve_engine`.
 
     ``max_steps`` is mandatory: under faults a non-tolerant protocol can
     be wrecked into a configuration that never stabilizes *and* never
@@ -134,6 +171,7 @@ class RobustnessSpec:
     trials: int = 10
     faults: str = "crash"
     at: int | None = None
+    scheduler: str = "uniform"
     engine: str = "indexed"
     measure: str = "output"
     base_seed: int = 0
@@ -146,6 +184,9 @@ class RobustnessSpec:
             self,
             "protocols",
             tuple(registry.canonical_spec(p) for p in self.protocols),
+        )
+        object.__setattr__(
+            self, "scheduler", SCHEDULERS.canonical(self.scheduler)
         )
         object.__setattr__(
             self, "loads", tuple(_format_load(x) for x in self.loads)
@@ -193,15 +234,22 @@ class RobustnessSpec:
     def scenario(self, load: float) -> Scenario:
         """The scenario of one load cell."""
         spec = self.fault_spec(load)
-        return Scenario(faults=(spec,) if spec else ())
+        return Scenario(
+            scheduler=self.scheduler, faults=(spec,) if spec else ()
+        )
 
     def expand(self) -> list["RobustnessTrial"]:
         """The independent trials, in (protocol, load, trial) order.
 
-        Seeds depend on ``(base_seed, family, load, n, trial)`` only, so
-        the protocols of the spec face identical fault streams cell by
-        cell — a paired experiment.
+        Seeds depend on ``(base_seed, scheduler, family, load, n,
+        trial)`` only — *not* on the protocol — so the protocols of the
+        spec face identical fault streams cell by cell: a paired
+        experiment.  (The uniform scheduler is left out of the context
+        string so historical crash-sweep seeds are unchanged.)
         """
+        context = f"robustness|{self.faults}"
+        if self.scheduler != DEFAULT_SCHEDULER:
+            context = f"robustness|{self.scheduler}|{self.faults}"
         return [
             RobustnessTrial(
                 protocol=protocol,
@@ -210,11 +258,12 @@ class RobustnessSpec:
                 trial=trial,
                 seed=_hashed_seed(
                     self.base_seed,
-                    f"robustness|{self.faults}|{load}",
+                    f"{context}|{load}",
                     self.n,
                     trial,
                 ),
                 fault=self.fault_spec(load) or "",
+                scheduler=self.scheduler,
                 engine=self.engine,
                 measure=self.measure,
                 max_steps=self.max_steps,
@@ -248,6 +297,7 @@ class RobustnessTrial:
     trial: int
     seed: int
     fault: str = ""
+    scheduler: str = "uniform"
     engine: str = "indexed"
     measure: str = "output"
     max_steps: int | None = None
@@ -288,7 +338,10 @@ class RobustnessRecord:
 def run_robustness_trial(trial: RobustnessTrial) -> RobustnessRecord:
     """Execute one :class:`RobustnessTrial` (module-level: picklable)."""
     protocol = registry.instantiate(trial.protocol)
-    scenario = Scenario(faults=(trial.fault,) if trial.fault else ())
+    scenario = Scenario(
+        scheduler=trial.scheduler,
+        faults=(trial.fault,) if trial.fault else (),
+    )
     read = MEASURES[trial.measure]
     if scenario.is_default:
         engine = trial.engine

@@ -188,8 +188,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     robust_p.add_argument(
         "--loads", default="0,1,2,4",
-        help="comma-separated fault loads (crash: node counts; "
-        "edge-drop/churn: per-step rates; 0 = fault-free baseline)",
+        help="comma-separated fault loads (crash/byzantine: node counts; "
+        "edge-drop/edge-rate/churn: per-step rates; 0 = fault-free "
+        "baseline)",
     )
     robust_p.add_argument("-n", type=int, default=32, help="population size")
     robust_p.add_argument("--trials", type=int, default=10)
@@ -197,6 +198,11 @@ def _build_parser() -> argparse.ArgumentParser:
     robust_p.add_argument(
         "--at", type=int, default=None,
         help="step at which one-shot faults fire (default: n*n)",
+    )
+    robust_p.add_argument(
+        "--scheduler", default="uniform", metavar="SPEC",
+        help="scheduler spec for every cell, e.g. targeted:aim=leader "
+        "(non-uniform schedulers run on the sequential engine)",
     )
     robust_p.add_argument(
         "--engine", choices=sorted(ENGINES), default="indexed",
@@ -412,6 +418,7 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         trials=args.trials,
         faults=args.faults,
         at=args.at,
+        scheduler=args.scheduler,
         engine=args.engine,
         measure=args.measure,
         base_seed=args.seed,
@@ -420,7 +427,7 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     print(
         f"robustness: {args.faults} loads={','.join(map(str, spec.loads))} "
         f"n={spec.n} trials={spec.trials} at={spec.fault_at} "
-        f"engine={spec.engine}\n"
+        f"scheduler={spec.scheduler} engine={spec.engine}\n"
     )
     result = run_robustness(spec, jobs=args.jobs)
     width = max(len(p) for p in spec.protocols)

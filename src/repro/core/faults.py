@@ -17,9 +17,14 @@ Every fault model registers itself in :data:`FAULTS` (a
     crash:at=1000,count=2        # crash 2 uniformly-chosen nodes at step 1000
     cut:at=500,edges=0-1+2-3     # adversarially cut specific edges at step 500
     edge-drop:rate=0.0001        # each step w.p. rate delete one random edge
+    edge-rate:rate=0.000001      # each active edge independently fails
+                                 #   w.p. rate per step
     arrive:at=2000,count=5       # 5 fresh nodes join (initial state) at 2000
     recover:at=1000,count=2,delay=500   # 2 DEAD nodes rejoin at step 1500
     churn:rate=0.0001            # each step w.p. rate: one crash + one arrival
+    byzantine:count=2,rate=0.0001,mode=replay
+                                 # 2 byzantine nodes lie about their
+                                 #   state/edge-flags at geometric times
 
 For example:
 
@@ -61,6 +66,10 @@ surviving neighbor is notified through
 :meth:`repro.core.protocol.Protocol.on_neighbor_crash` (the 2019
 paper's minimal strengthening); the default hook ignores the
 notification, fault-aware protocols use it to trigger local repair.
+Environment edge deletions (``cut``, ``edge-drop``, ``edge-rate``)
+likewise notify both surviving endpoints through
+:meth:`repro.core.protocol.Protocol.on_edge_loss`; *silent* cuts — the
+edge-flag lies of the ``byzantine`` model — bypass that hook.
 
 Population events (``arrive``, ``recover``, ``churn``) grow or shrink
 the *alive* population mid-run: arriving nodes take fresh ids at the
@@ -180,7 +189,12 @@ class FaultAction:
     ``kind`` is one of:
 
     * ``"crash"`` — crash-stop every node in ``nodes``;
-    * ``"cut"`` — deactivate every edge in ``edges``;
+    * ``"cut"`` — deactivate every edge in ``edges``; unless ``silent``,
+      both surviving endpoints of each deactivated edge are notified
+      through :meth:`repro.core.protocol.Protocol.on_edge_loss`;
+    * ``"corrupt"`` — a byzantine lie: set the state of ``nodes[i]`` to
+      ``states[i]`` (no notification of anyone — the node *claims* the
+      new state from here on);
     * ``"arrive"`` — grow the population by ``count`` fresh nodes in
       the protocol's initial state;
     * ``"revive"`` — return every :data:`DEAD` node in ``nodes`` to the
@@ -195,6 +209,8 @@ class FaultAction:
     nodes: tuple[int, ...] = ()
     edges: tuple[tuple[int, int], ...] = ()
     count: int = 0
+    states: tuple = ()
+    silent: bool = False
 
 
 class FaultPlan:
@@ -235,8 +251,14 @@ class FaultModel:
     #: churn) set this False; runs with them need a finite step budget.
     bounded = True
 
-    def compile(self, n: int, rng: random.Random) -> FaultPlan:
-        """Bind the model to a population size and a random stream."""
+    def compile(
+        self, n: int, rng: random.Random, protocol=None
+    ) -> FaultPlan:
+        """Bind the model to a population size and a random stream.
+
+        ``protocol`` is the protocol under attack; most models ignore it,
+        but protocol-aware adversaries (:class:`ByzantineFaults`) need its
+        declared state set / leader states to fabricate lies."""
         raise NotImplementedError
 
 
@@ -267,7 +289,9 @@ class CrashFaults(FaultModel):
         self.count = count
         self.at = at
 
-    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+    def compile(
+        self, n: int, rng: random.Random, protocol=None
+    ) -> FaultPlan:
         return _OneShotPlan(self.at, "crash", self.count, (), rng)
 
 
@@ -295,7 +319,9 @@ class EdgeCutFaults(FaultModel):
             raise SimulationError(f"cut step must be >= 0, got {at}")
         self.at = at
 
-    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+    def compile(
+        self, n: int, rng: random.Random, protocol=None
+    ) -> FaultPlan:
         for u, v in self.edges:
             if u >= n or v >= n:
                 raise SimulationError(
@@ -350,7 +376,9 @@ class EdgeDropFaults(FaultModel):
         except (TypeError, ValueError) as exc:
             raise SimulationError(str(exc)) from None
 
-    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+    def compile(
+        self, n: int, rng: random.Random, protocol=None
+    ) -> FaultPlan:
         return _DropPlan(self.rate, rng)
 
 
@@ -382,6 +410,291 @@ class _DropPlan(FaultPlan):
         return [FaultAction(step, "cut", edges=((u, v),))]
 
 
+def _unrank_pair(index: int, n: int) -> tuple[int, int]:
+    """The ``index``-th pair ``(u, v)``, ``u < v``, in lexicographic
+    order over the ``n * (n - 1) / 2`` unordered pairs.
+
+    >>> [_unrank_pair(i, 4) for i in range(6)]
+    [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    """
+    u = 0
+    row = n - 1
+    while index >= row:
+        index -= row
+        u += 1
+        row -= 1
+    return (u, u + 1 + index)
+
+
+@register_fault(
+    "edge-rate",
+    params=(
+        Param("rate", probability, default=None,
+              help="per-edge per-step failure probability"),
+    ),
+    aliases=("edge-failure",),
+    description="each active edge independently fails w.p. `rate` per step",
+)
+class EdgeRateFaults(FaultModel):
+    """Per-edge independent failure: every *active* edge, at every
+    scheduler step, fails independently with probability ``rate``.
+
+    Unlike :class:`EdgeDropFaults` (one deletion attempt per step,
+    whatever the network looks like), the aggregate failure pressure
+    here scales with the number of active edges — the classic
+    independent-link-failure model.  The construction is exact and
+    step-indexed: all ``m = n(n-1)/2`` pair slots carry independent
+    per-step Bernoulli(``rate``) clocks; a clock firing on an *inactive*
+    pair is a no-op, so the marginal law on active edges is exactly
+    independent failure.  The first firing time is geometric with
+    ``p = 1 - (1 - rate)^m``, and the firing set at an event is drawn
+    from the exact conditional size distribution — the skip-ahead
+    engines never walk the quiet steps.
+
+    The slot set is fixed at the compile-time population size: edges
+    among nodes that *arrive* later are outside this model's reach
+    (combine with ``edge-drop`` if arriving nodes must be at risk too).
+    """
+
+    bounded = False
+
+    def __init__(self, rate: float) -> None:
+        try:
+            self.rate = probability(rate)
+        except (TypeError, ValueError) as exc:
+            raise SimulationError(str(exc)) from None
+
+    def compile(
+        self, n: int, rng: random.Random, protocol=None
+    ) -> FaultPlan:
+        return _EdgeRatePlan(self.rate, n, rng)
+
+
+class _EdgeRatePlan(FaultPlan):
+    def __init__(self, rate: float, n: int, rng: random.Random) -> None:
+        self.rate = rate
+        self.n = n
+        self.m = n * (n - 1) // 2
+        self.rng = rng
+        # P(at least one of the m clocks fires this step).
+        self.p_total = -math.expm1(self.m * math.log1p(-rate))
+        self._next = (
+            self._gap(0) if self.m and self.p_total < 1.0 else (1 if self.m else None)
+        )
+
+    def _gap(self, after: int) -> int:
+        return _geometric_gap(after, self.p_total, self.rng)
+
+    def next_step(self, after: int) -> int | None:
+        if self._next is None:
+            return None
+        while self._next <= after:
+            self._next = (
+                self._gap(self._next) if self.p_total < 1.0 else self._next + 1
+            )
+        return self._next
+
+    def _firing_count(self) -> int:
+        """Exact draw of the number of firing clocks conditioned on at
+        least one firing: inverse-CDF walk over
+        ``P(K = k) = C(m, k) rate^k (1-rate)^(m-k) / p_total``."""
+        m, rate = self.m, self.rate
+        roll = self.rng.random() * self.p_total
+        pk = m * rate * math.pow(1.0 - rate, m - 1)  # P(K = 1)
+        k = 1
+        acc = pk
+        while roll >= acc and k < m:
+            pk *= (m - k) / (k + 1) * rate / (1.0 - rate)
+            k += 1
+            acc += pk
+        return k
+
+    def actions_at(self, step, config, alive):
+        if step != self._next:
+            return []
+        k = self._firing_count()
+        slots = self.rng.sample(range(self.m), k)
+        dead = {u for u in range(config.n) if config.state(u) == DEAD}
+        cut = []
+        for slot in sorted(slots):
+            u, v = _unrank_pair(slot, self.n)
+            if u in dead or v in dead:
+                continue
+            if config.edge_state(u, v):
+                cut.append((u, v))
+        if not cut:
+            return []
+        return [FaultAction(step, "cut", edges=tuple(cut))]
+
+
+#: Byzantine lie modes: how a corrupted node fabricates its claimed state.
+BYZANTINE_MODES = ("random-state", "replay", "always-leader")
+
+
+@register_fault(
+    "byzantine",
+    params=(
+        Param("count", int, default=1, minimum=1,
+              help="how many byzantine nodes"),
+        Param("rate", probability, default=0.0001,
+              help="per-step probability of one lie event"),
+        Param("mode", str, default="random-state",
+              help="lie mode: random-state | replay | always-leader"),
+        Param("lie", float, default=0.5,
+              help="probability a lie also silently drops an incident edge"),
+    ),
+    aliases=("byz",),
+    description="`count` byzantine nodes lie about state/edge-flags "
+                "(modes: random-state, replay, always-leader)",
+)
+class ByzantineFaults(FaultModel):
+    """``count`` nodes, chosen uniformly at compile time, behave
+    byzantinely: at geometric times (per-step probability ``rate``) one
+    of them *lies* about its protocol state, and with probability
+    ``lie`` additionally lies about an edge-flag — silently dropping one
+    incident active edge, bypassing
+    :meth:`~repro.core.protocol.Protocol.on_edge_loss` (an environment
+    cut notifies; a byzantine drop does not, which is what makes it
+    strictly nastier).
+
+    A byzantine node may behave arbitrarily, so the lie is modeled as an
+    actual state change (a ``"corrupt"`` action): from the interaction
+    semantics' point of view a node *is* what it claims to be.  This
+    keeps all three engines distributionally identical — no per-
+    interaction hot-path hooks — while exercising exactly the failure
+    surface the FTNC 2019 model excludes.
+
+    Modes
+    -----
+    * ``random-state`` — claim a uniformly random state from the
+      protocol's declared state set (requires an enumerable
+      :attr:`~repro.core.protocol.Protocol.states`);
+    * ``replay`` — claim the state the node held at the *previous* lie
+      event (stale-state replay; works for any protocol);
+    * ``always-leader`` — impersonate the construction's leader
+      (requires a non-empty
+      :attr:`~repro.core.protocol.Protocol.leader_states`).
+    """
+
+    bounded = False
+
+    def __init__(
+        self,
+        count: int = 1,
+        rate: float = 0.0001,
+        mode: str = "random-state",
+        lie: float = 0.5,
+    ) -> None:
+        if count < 1:
+            raise SimulationError(
+                f"byzantine count must be >= 1, got {count}"
+            )
+        try:
+            self.rate = probability(rate)
+        except (TypeError, ValueError) as exc:
+            raise SimulationError(str(exc)) from None
+        if mode not in BYZANTINE_MODES:
+            raise SimulationError(
+                f"unknown byzantine mode {mode!r}; "
+                f"choose from {list(BYZANTINE_MODES)}"
+            )
+        if not 0.0 <= float(lie) <= 1.0:
+            raise SimulationError(
+                f"edge-lie probability must be in [0, 1], got {lie}"
+            )
+        self.count = count
+        self.mode = mode
+        self.lie = float(lie)
+
+    def compile(
+        self, n: int, rng: random.Random, protocol=None
+    ) -> FaultPlan:
+        if protocol is None:
+            raise SimulationError(
+                "byzantine faults are protocol-aware: compile with the "
+                "protocol under attack (engines do this automatically)"
+            )
+        state_pool: tuple = ()
+        if self.mode == "random-state":
+            if protocol.states is None:
+                raise SimulationError(
+                    f"byzantine mode 'random-state' needs an enumerable "
+                    f"state set, but {protocol.name} declares none; use "
+                    f"mode=replay for structured-state protocols"
+                )
+            state_pool = tuple(sorted(protocol.states, key=repr))
+        leader_lie = None
+        if self.mode == "always-leader":
+            if not protocol.leader_states:
+                raise SimulationError(
+                    f"byzantine mode 'always-leader' needs leader_states, "
+                    f"but {protocol.name} declares none"
+                )
+            leader_lie = min(protocol.leader_states, key=repr)
+        victims = tuple(sorted(rng.sample(range(n), min(self.count, n))))
+        return _ByzantinePlan(
+            victims, self.rate, self.mode, self.lie,
+            state_pool, leader_lie, protocol.initial_state, rng,
+        )
+
+
+class _ByzantinePlan(FaultPlan):
+    def __init__(
+        self, victims, rate, mode, lie_p, state_pool, leader_lie,
+        initial_state, rng,
+    ) -> None:
+        self.victims = victims
+        self.rate = rate
+        self.mode = mode
+        self.lie_p = lie_p
+        self.state_pool = state_pool
+        self.leader_lie = leader_lie
+        self.initial_state = initial_state
+        self.rng = rng
+        self._replayed: dict[int, object] = {}
+        self._next = _geometric_gap(0, rate, rng)
+
+    def next_step(self, after: int) -> int | None:
+        while self._next <= after:
+            self._next = _geometric_gap(self._next, self.rate, self.rng)
+        return self._next
+
+    def actions_at(self, step, config, alive):
+        if step != self._next:
+            return []
+        rng = self.rng
+        alive_set = set(alive)
+        active = [v for v in self.victims if v in alive_set]
+        if not active:
+            return []
+        victim = active[rng.randrange(len(active))]
+        current = config.state(victim)
+        if self.mode == "random-state":
+            claim = self.state_pool[rng.randrange(len(self.state_pool))]
+        elif self.mode == "replay":
+            fallback = (
+                self.initial_state
+                if self.initial_state is not None
+                else current
+            )
+            claim = self._replayed.get(victim, fallback)
+            self._replayed[victim] = current
+        else:  # always-leader
+            claim = self.leader_lie
+        actions = [
+            FaultAction(step, "corrupt", nodes=(victim,), states=(claim,))
+        ]
+        if rng.random() < self.lie_p:
+            nbrs = sorted(config.neighbors(victim))
+            if nbrs:
+                x = nbrs[rng.randrange(len(nbrs))]
+                edge = (victim, x) if victim < x else (x, victim)
+                actions.append(
+                    FaultAction(step, "cut", edges=(edge,), silent=True)
+                )
+        return actions
+
+
 # ----------------------------------------------------------------------
 # Population events: arrivals, recoveries, churn
 # ----------------------------------------------------------------------
@@ -411,7 +724,9 @@ class ArrivalFaults(FaultModel):
         self.count = count
         self.at = at
 
-    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+    def compile(
+        self, n: int, rng: random.Random, protocol=None
+    ) -> FaultPlan:
         return _ArrivalPlan(self.at, self.count)
 
 
@@ -463,7 +778,9 @@ class RecoverFaults(FaultModel):
         self.at = at
         self.delay = delay
 
-    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+    def compile(
+        self, n: int, rng: random.Random, protocol=None
+    ) -> FaultPlan:
         return _RecoverPlan(self.at + self.delay, self.count, rng)
 
 
@@ -514,7 +831,9 @@ class ChurnFaults(FaultModel):
         except (TypeError, ValueError) as exc:
             raise SimulationError(str(exc)) from None
 
-    def compile(self, n: int, rng: random.Random) -> FaultPlan:
+    def compile(
+        self, n: int, rng: random.Random, protocol=None
+    ) -> FaultPlan:
         return _ChurnPlan(self.rate, rng)
 
 
@@ -579,12 +898,14 @@ def _fault_seed(seed: int | None) -> int | None:
 
 
 def compile_fault_plan(
-    models: tuple[FaultModel, ...], n: int, seed: int | None
+    models: tuple[FaultModel, ...], n: int, seed: int | None, protocol=None
 ) -> FaultPlan | None:
     """Compile an engine's fault models into one plan (``None`` when the
-    scenario has no faults — the hot loops skip all fault bookkeeping)."""
+    scenario has no faults — the hot loops skip all fault bookkeeping).
+    ``protocol`` is forwarded to each model's :meth:`FaultModel.compile`
+    for protocol-aware adversaries."""
     if not models:
         return None
     rng = random.Random(_fault_seed(seed))
-    plans = [model.compile(n, rng) for model in models]
+    plans = [model.compile(n, rng, protocol=protocol) for model in models]
     return plans[0] if len(plans) == 1 else CompositeFaultPlan(plans)

@@ -126,12 +126,19 @@ class Protocol:
         The declared finite state set ``Q`` when enumerable; ``None`` for
         structured-state protocols (the set is still finite for any fixed
         ``n`` but not conveniently enumerable).
+    leader_states:
+        The states marking the construction's current leader(s), when the
+        protocol has that notion; ``None`` when it does not.  Consumed by
+        the adversarial machinery — the ``targeted:aim=leader`` scheduler
+        starves these nodes and the ``byzantine:mode=always-leader`` fault
+        model impersonates them.
     """
 
     name: str = "protocol"
     initial_state: State = None
     output_states: frozenset | None = None
     states: frozenset | None = None
+    leader_states: frozenset | None = None
 
     # ------------------------------------------------------------------
     # Transition function
@@ -191,6 +198,28 @@ class Protocol:
         hook identically, immediately after the victim's edges are
         removed, so fault-aware runs stay distributionally equivalent
         across engines.
+        """
+        return None
+
+    def on_edge_loss(self, state: State) -> State | None:
+        """Edge-deletion notification hook — the edge analogue of
+        :meth:`on_neighbor_crash`.  When the *environment* deletes an
+        active edge (the ``cut``, ``edge-drop`` and ``edge-rate`` fault
+        models), both surviving endpoints are told so and may change
+        state in response.
+
+        Receives the endpoint's current state and returns its new state,
+        or ``None`` to keep it unchanged.  The default — ``None`` for
+        every state — models silent edge removal, under which the 2019
+        fault-tolerance constructions are provably stuck: a deletion can
+        strand a leaderless fragment that no rule ever touches.
+        Fault-aware protocols override it to start their repair
+        machinery, exactly as for crash notifications.  All engines
+        apply the hook identically, immediately after the edge is
+        deactivated.  **Byzantine** edge-flag lies
+        (:class:`repro.core.faults.ByzantineFaults`) drop edges
+        *silently* — they bypass this hook, which is what makes them
+        strictly nastier than environment cuts.
         """
         return None
 

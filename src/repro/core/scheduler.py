@@ -29,7 +29,18 @@ strings) and are the ``scheduler`` axis of a
 >>> SCHEDULERS.instantiate("laggard:bias=0.8,lagged=0..4").bias
 0.8
 >>> SCHEDULERS.names()
-['laggard', 'round-robin', 'scripted', 'uniform']
+['laggard', 'round-robin', 'scripted', 'targeted', 'uniform']
+
+Adaptive adversaries
+--------------------
+Schedulers with :attr:`Scheduler.adaptive` set read the **live
+configuration** while scheduling: :class:`TargetedScheduler` starves
+whichever node currently holds a leader state (``aim=leader``) or
+hammers the bridge edges of the active graph (``aim=bridge``).  The
+sequential engine hands adaptive schedulers the evolving configuration
+and the protocol when binding the pair stream; the event-driven engines
+decline such scenarios through ``supports()`` (their geometric skips
+encode the uniform law).
 """
 
 from __future__ import annotations
@@ -86,6 +97,14 @@ class Scheduler:
     #: True when the scheduler is the uniform random one (enables the
     #: event-driven fast path of :class:`repro.core.simulator.AgitatedSimulator`).
     uniform_random = False
+
+    #: True when the scheduler reads the live configuration while
+    #: scheduling.  Adaptive schedulers implement
+    #: ``pairs(n, rng, config=..., protocol=...)``; the sequential
+    #: engine passes the evolving configuration (mutated in place, so
+    #: the generator always sees the current states/edges) and the
+    #: protocol under attack.
+    adaptive = False
 
     def pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
         """Yield an infinite stream of interaction pairs for ``n`` nodes."""
@@ -238,3 +257,158 @@ class ScriptedScheduler(Scheduler):
     def _pairs(self, n: int, rng: random.Random) -> Iterator[tuple[int, int]]:
         yield from self.script
         yield from uniform_pairs(n, rng)
+
+
+def find_bridges(config) -> list[tuple[int, int]]:
+    """The bridge edges of the configuration's active graph (edges whose
+    removal disconnects a component), as sorted ``(u, v)`` pairs with
+    ``u < v`` — the cut set an adaptive adversary wants to hammer.
+
+    Iterative low-link DFS over the active adjacency, O(nodes + edges).
+
+    >>> from repro.core.configuration import Configuration
+    >>> find_bridges(Configuration(["a"] * 4, [(0, 1), (1, 2), (2, 3)]))
+    [(0, 1), (1, 2), (2, 3)]
+    >>> find_bridges(Configuration(["a"] * 3, [(0, 1), (1, 2), (0, 2)]))
+    []
+    """
+    disc: dict[int, int] = {}
+    low: dict[int, int] = {}
+    bridges: list[tuple[int, int]] = []
+    timer = 0
+    for root in range(config.n):
+        if root in disc or not config.degree(root):
+            continue
+        disc[root] = low[root] = timer
+        timer += 1
+        stack = [(root, -1, iter(sorted(config.neighbors(root))))]
+        while stack:
+            u, parent, children = stack[-1]
+            child = next(children, None)
+            if child is None:
+                stack.pop()
+                if stack:
+                    p = stack[-1][0]
+                    if low[u] < low[p]:
+                        low[p] = low[u]
+                    if low[u] > disc[p]:
+                        bridges.append((p, u) if p < u else (u, p))
+                continue
+            if child == parent:
+                # The tree edge back up; simple graphs hold it once.
+                continue
+            if child in disc:
+                if disc[child] < low[u]:
+                    low[u] = disc[child]
+            else:
+                disc[child] = low[child] = timer
+                timer += 1
+                stack.append(
+                    (child, u, iter(sorted(config.neighbors(child))))
+                )
+    bridges.sort()
+    return bridges
+
+
+@register_scheduler(
+    "targeted",
+    aliases=("adversarial-targeted",),
+    params=(
+        Param(
+            "aim", str, default="leader",
+            help="attack focus: leader (starve it) or bridge (hammer them)",
+        ),
+        Param(
+            "bias", float, default=0.9,
+            help="attack intensity in [0, 1)",
+        ),
+    ),
+    description="adaptive adversary: starves the live leader or hammers "
+                "bridge edges",
+)
+class TargetedScheduler(Scheduler):
+    """An *adaptive* biased-but-fair adversary that reads the live
+    configuration each pick.
+
+    * ``aim=leader`` — starvation: a uniformly drawn pair touching a
+      current leader is re-drawn (once) with probability ``bias``, so
+      whoever holds the leader role interacts rarely — unlike
+      :class:`AdversarialLaggardScheduler`, the starved set follows the
+      leader around as the protocol moves it.  Leaders are the nodes in
+      the protocol's :attr:`~repro.core.protocol.Protocol.leader_states`
+      when declared; otherwise any node whose state is globally unique
+      (a distinguished role) counts as a target.
+    * ``aim=bridge`` — with probability ``bias`` the pick is a uniformly
+      chosen **bridge** of the active graph (an edge whose removal
+      disconnects a component): the adversary keeps scheduling exactly
+      the interactions a fragile construction is most sensitive about.
+
+    Every pair keeps positive probability each step (with probability
+    ``1 - bias`` the pick is purely uniform), so the scheduler is fair
+    with probability 1 — a legitimate adversary for correctness claims.
+    """
+
+    adaptive = True
+
+    #: Recognized values of ``aim``.
+    AIMS = ("leader", "bridge")
+
+    def __init__(self, aim: str = "leader", bias: float = 0.9) -> None:
+        if aim not in self.AIMS:
+            raise SimulationError(
+                f"unknown targeted aim {aim!r}; choose from {list(self.AIMS)}"
+            )
+        if not 0 <= bias < 1:
+            raise SimulationError(f"bias must be in [0, 1), got {bias}")
+        self.aim = aim
+        self.bias = bias
+
+    def pairs(
+        self,
+        n: int,
+        rng: random.Random,
+        config=None,
+        protocol=None,
+    ) -> Iterator[tuple[int, int]]:
+        self._check(n)
+        if config is None:
+            raise SimulationError(
+                "the targeted scheduler is adaptive: it needs the live "
+                "configuration (run it through the sequential engine)"
+            )
+        if self.aim == "leader":
+            return self._leader_pairs(n, rng, config, protocol)
+        return self._bridge_pairs(n, rng, config)
+
+    def _leader_pairs(self, n, rng, config, protocol):
+        stream = uniform_pairs(n, rng)
+        bias = self.bias
+        leader_states = getattr(protocol, "leader_states", None)
+
+        def is_target(u: int) -> bool:
+            su = config.state(u)
+            if leader_states is not None:
+                return su in leader_states
+            return config.count_in_state(su) == 1
+
+        for u, v in stream:
+            if (is_target(u) or is_target(v)) and rng.random() < bias:
+                yield next(stream)
+            else:
+                yield (u, v)
+
+    def _bridge_pairs(self, n, rng, config):
+        stream = uniform_pairs(n, rng)
+        bias = self.bias
+        cache_key = None
+        bridges: list[tuple[int, int]] = []
+        for u, v in stream:
+            if rng.random() < bias:
+                key = (config.n, config.n_active_edges)
+                if key != cache_key:
+                    bridges = find_bridges(config)
+                    cache_key = key
+                if bridges:
+                    yield bridges[rng.randrange(len(bridges))]
+                    continue
+            yield (u, v)

@@ -290,6 +290,7 @@ def robustness_spec_to_dict(spec) -> dict:
         "trials": spec.trials,
         "faults": spec.faults,
         "at": spec.at,
+        "scheduler": spec.scheduler,
         "engine": spec.engine,
         "measure": spec.measure,
         "base_seed": spec.base_seed,
@@ -313,6 +314,8 @@ def robustness_spec_from_dict(payload: dict):
         trials=payload["trials"],
         faults=payload["faults"],
         at=payload.get("at"),
+        # Absent in records written before the adversarial axis landed.
+        scheduler=payload.get("scheduler", "uniform"),
         engine=payload["engine"],
         measure=payload["measure"],
         base_seed=payload["base_seed"],

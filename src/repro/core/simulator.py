@@ -52,7 +52,17 @@ picks among *alive* pairs only, identically in all engines.  Each
 surviving neighbor of a crash victim is notified through
 :meth:`~repro.core.protocol.Protocol.on_neighbor_crash` (the minimal
 strengthening of Fault Tolerant Network Constructors 2019) — a no-op
-for ordinary protocols, the repair trigger for fault-aware ones.  A
+for ordinary protocols, the repair trigger for fault-aware ones.
+Environment edge deletions (``cut``/``edge-drop``/``edge-rate``)
+likewise notify both endpoints through
+:meth:`~repro.core.protocol.Protocol.on_edge_loss`, identically in all
+three engines; *silent* cuts (byzantine edge-flag lies) and
+``corrupt`` state lies (see
+:class:`~repro.core.faults.ByzantineFaults`) bypass the hooks.
+**Adaptive schedulers** (``targeted:aim=...``) read the live
+configuration: the sequential engine hands them the evolving
+configuration and protocol when binding the pair stream, and the
+event-driven engines decline such scenarios via ``supports()``.  A
 fault that changes the configuration counts as an output-graph change
 (it removes nodes or active edges), so ``convergence_time`` measures
 the *restabilization* time of the surviving population.
@@ -296,12 +306,21 @@ class SequentialSimulator:
         last_output_change = 0
         since_check = 0
 
-        plan = compile_fault_plan(self.faults, n, self.seed)
+        plan = compile_fault_plan(self.faults, n, self.seed, protocol)
         dead: set[int] = set()
         fault_next = plan.next_step(-1) if plan is not None else None
         horizon = plan.horizon if plan is not None else -1
         stream_stale = False
         notify = protocol.on_neighbor_crash
+        notify_loss = protocol.on_edge_loss
+        adaptive = getattr(self.scheduler, "adaptive", False)
+
+        def bind_stream():
+            if adaptive:
+                return self.scheduler.pairs(
+                    n, rng, config=cfg, protocol=protocol
+                )
+            return self.scheduler.pairs(n, rng)
 
         def apply_fault_actions(at: int) -> bool:
             nonlocal n, stream_stale
@@ -326,6 +345,18 @@ class SequentialSimulator:
                             continue
                         if cfg.edge_state(a, b):
                             cfg.set_edge(a, b, 0)
+                            if not action.silent:
+                                for x in (a, b):
+                                    new_state = notify_loss(cfg.state(x))
+                                    if new_state is not None:
+                                        cfg.set_state(x, new_state)
+                            changed = True
+                elif action.kind == "corrupt":
+                    for w, claim in zip(action.nodes, action.states):
+                        if w in dead:
+                            continue
+                        if cfg.state(w) != claim:
+                            cfg.set_state(w, claim)
                             changed = True
                 elif action.kind == "arrive":
                     for _ in range(action.count):
@@ -350,7 +381,7 @@ class SequentialSimulator:
                 changed |= apply_fault_actions(fault_next)
                 fault_next = plan.next_step(fault_next)
             if stream_stale:
-                pair_stream = self.scheduler.pairs(n, rng)
+                pair_stream = bind_stream()
                 stream_stale = False
             return changed
 
@@ -362,7 +393,7 @@ class SequentialSimulator:
 
         if stabilized(cfg) and steps >= horizon:
             return RunResult(True, 0, 0, 0, 0, cfg, "stabilized", trace)
-        pair_stream = self.scheduler.pairs(n, rng)
+        pair_stream = bind_stream()
         while steps < max_steps:
             if dead and n - len(dead) < 2:
                 if (
@@ -508,12 +539,13 @@ class AgitatedSimulator:
                 if is_effective(su, state(v), edge_state(u, v)):
                     effective_pairs.add((u, v))
 
-        plan = compile_fault_plan(self.faults, n, self.seed)
+        plan = compile_fault_plan(self.faults, n, self.seed, protocol)
         dead: set[int] = set()
         fault_next = plan.next_step(-1) if plan is not None else None
         horizon = plan.horizon if plan is not None else -1
 
         notify = protocol.on_neighbor_crash
+        notify_loss = protocol.on_edge_loss
 
         def refresh_node(w: int) -> None:
             sw = state(w)
@@ -556,12 +588,24 @@ class AgitatedSimulator:
                         if a in dead or b in dead or not edge_state(a, b):
                             continue
                         cfg.set_edge(a, b, 0)
-                        pair = (a, b) if a < b else (b, a)
-                        if is_effective(state(a), state(b), 0):
-                            effective_pairs.add(pair)
-                        else:
-                            effective_pairs.discard(pair)
+                        if not action.silent:
+                            for x in (a, b):
+                                new_state = notify_loss(state(x))
+                                if new_state is not None and new_state != state(x):
+                                    cfg.set_state(x, new_state)
+                        # Re-file every pair of both endpoints: the edge
+                        # went inactive and either state may have moved.
+                        refresh_node(a)
+                        refresh_node(b)
                         changed = True
+                elif action.kind == "corrupt":
+                    for w, claim in zip(action.nodes, action.states):
+                        if w in dead:
+                            continue
+                        if state(w) != claim:
+                            cfg.set_state(w, claim)
+                            refresh_node(w)
+                            changed = True
                 elif action.kind == "arrive":
                     for _ in range(action.count):
                         u_new = cfg.add_node(_join_state(protocol))
@@ -773,12 +817,13 @@ class IndexedSimulator:
             index.move_node(w, old, new)
             sid[w] = new
 
-        plan = compile_fault_plan(self.faults, n, self.seed)
+        plan = compile_fault_plan(self.faults, n, self.seed, protocol)
         dead: set[int] = set()
         fault_next = plan.next_step(-1) if plan is not None else None
         horizon = plan.horizon if plan is not None else -1
 
         notify = protocol.on_neighbor_crash
+        notify_loss = protocol.on_edge_loss
 
         def apply_fault_actions(at: int) -> bool:
             nonlocal m, n
@@ -815,8 +860,29 @@ class IndexedSimulator:
                             continue
                         index.remove_edge(a, b, sid[a], sid[b])
                         cfg.set_edge(a, b, 0)
-                        index.refresh_pair(sid[a], sid[b])
+                        dirty = {sid[a], sid[b]}
+                        if not action.silent:
+                            for x in (a, b):
+                                new_state = notify_loss(state_of(sid[x]))
+                                if new_state is None:
+                                    continue
+                                new_id = intern(new_state)
+                                if new_id != sid[x]:
+                                    dirty.add(sid[x])
+                                    dirty.add(new_id)
+                                    move_node(x, sid[x], new_id)
+                        index.refresh_involving(dirty)
                         changed = True
+                elif action.kind == "corrupt":
+                    for w, claim in zip(action.nodes, action.states):
+                        if w in dead:
+                            continue
+                        new_id = intern(claim)
+                        if new_id != sid[w]:
+                            dirty = {sid[w], new_id}
+                            move_node(w, sid[w], new_id)
+                            index.refresh_involving(dirty)
+                            changed = True
                 elif action.kind == "arrive":
                     s_join = intern(_join_state(protocol))
                     for _ in range(action.count):

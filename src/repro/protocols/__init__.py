@@ -7,6 +7,7 @@ Protocol                    states  expected time (paper)
 :class:`FastGlobalLine`     9       O(n³)
 :class:`FasterGlobalLine`   6       open (experimental, Section 7)
 :class:`FTGlobalLine`       6       crash-tolerant line (FTNC 2019)
+:class:`RCGlobalLine`       3k+7    redundancy-coded adversarial line
 :class:`LeaderDrivenLine`   —       Θ(n² log n), pre-elected leader
 :class:`CycleCover`         3       Θ(n²) — optimal
 :class:`GlobalStar`         2       Θ(n² log n) — optimal (size and time)
@@ -28,6 +29,7 @@ from repro.protocols.line import (
     LeaderDrivenLine,
     SimpleGlobalLine,
 )
+from repro.protocols.rc_line import RCGlobalLine
 from repro.protocols.regular import KRegularConnected, NeighborDoubling
 from repro.protocols.replication import GraphReplication
 from repro.protocols.ring import GlobalRing, TwoRegularConnected
@@ -46,6 +48,7 @@ __all__ = [
     "KRegularConnected",
     "LeaderDrivenLine",
     "NeighborDoubling",
+    "RCGlobalLine",
     "SimpleGlobalLine",
     "SpanningNetwork",
     "TwoRegularConnected",

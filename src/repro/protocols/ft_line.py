@@ -28,11 +28,13 @@ from repro.core.graphs import is_spanning_line
 from repro.core.protocol import State, TableProtocol
 from repro.protocols.registry import register_protocol
 
-#: State changes applied on a crash notification.  In every reachable
-#: configuration the state determines the degree (``q1``/``l``: 1,
-#: ``q2``/``w``: 2, ``r``: 1), so the notified node knows whether it is
-#: now isolated (rejoin as free ``q0``) or the exposed end of a damaged
-#: fragment (become the reset carrier ``r``).
+#: State changes applied on a fault notification — crash *and* edge
+#: loss.  In every reachable configuration the state determines the
+#: degree (``q1``/``l``: 1, ``q2``/``w``: 2, ``r``: 1), so the notified
+#: node knows whether it is now isolated (rejoin as free ``q0``) or the
+#: exposed end of a damaged fragment (become the reset carrier ``r``).
+#: Losing one incident edge is locally indistinguishable from losing
+#: the neighbor behind it, so one map serves both hooks.
 _ON_CRASH: dict[State, State] = {
     "q1": "q0",  # endpoint lost its only neighbor: isolated, free again
     "l": "q0",   # endpoint leader lost its only neighbor: isolated
@@ -68,10 +70,17 @@ class FTGlobalLine(TableProtocol):
     ``q0`` material is reabsorbed by the ordinary growth rules.  Without
     faults the ``r`` state is unreachable and the dynamics are exactly
     Simple-Global-Line's.  The protocol tolerates any number of
-    crash-stop faults with notifications; like the 2019 constructions it
-    does *not* tolerate silent edge removal (``cut``/``edge-drop``),
-    which strands fragments without notifying anyone.
+    crash-stop faults with notifications, and — via the edge analogue
+    :meth:`on_edge_loss`, same map — any number of *notified* edge
+    deletions (``cut``/``edge-drop``/``edge-rate``): an edge loss
+    exposes the same two fragment ends a crash would, so the same
+    dissolve-and-rebuild wave repairs it.  *Silent* edge removal (the
+    edge-flag lies of ``byzantine`` faults) still strands fragments
+    without notifying anyone, exactly as in the 2019 model without
+    notifications.
     """
+
+    leader_states = frozenset({"l", "w"})
 
     def __init__(self) -> None:
         super().__init__(
@@ -94,6 +103,9 @@ class FTGlobalLine(TableProtocol):
         )
 
     def on_neighbor_crash(self, state: State) -> State | None:
+        return _ON_CRASH.get(state)
+
+    def on_edge_loss(self, state: State) -> State | None:
         return _ON_CRASH.get(state)
 
     def stabilized(self, config: Configuration) -> bool:

@@ -45,6 +45,8 @@ class SimpleGlobalLine(TableProtocol):
     internal, and it random-walks until it reaches an endpoint.
     """
 
+    leader_states = frozenset({"l", "w"})
+
     def __init__(self) -> None:
         super().__init__(
             name="Simple-Global-Line",
@@ -85,6 +87,8 @@ class FastGlobalLine(TableProtocol):
     lines only shrink, one node at a time, into the unique surviving awake
     line.
     """
+
+    leader_states = frozenset({"l", "lp", "lpp"})
 
     def __init__(self) -> None:
         super().__init__(
@@ -131,6 +135,8 @@ class FasterGlobalLine(TableProtocol):
     construction; benchmark ``P10`` measures it.
     """
 
+    leader_states = frozenset({"l"})
+
     def __init__(self) -> None:
         super().__init__(
             name="Faster-Global-Line",
@@ -166,6 +172,8 @@ class LeaderDrivenLine(TableProtocol):
     process).  Note the non-uniform initial configuration: this protocol
     documents the cost of the missing leader-election composition discussed
     in the conclusions."""
+
+    leader_states = frozenset({"l"})
 
     def __init__(self) -> None:
         super().__init__(

@@ -45,6 +45,14 @@ The checks
     DEAD sentinel and no active edges, the population grows by exactly
     the arrival count, and certificates stay exception-free over
     configurations containing DEAD nodes.
+``adversarial``
+    The adversarial-axis invariants: the notification hooks
+    (``on_edge_loss`` / ``on_neighbor_crash``) map every declared state
+    to ``None`` or a declared state; a byzantine-plus-crash plan on the
+    indexed engine preserves the DEAD invariants (sentinel held, no
+    active edges) even while the adversary lies about states; and the
+    adaptive targeted scheduler runs the protocol through the
+    sequential engine with an exception-free certificate at the end.
 """
 
 from __future__ import annotations
@@ -60,7 +68,7 @@ from typing import Callable, Iterable, Iterator
 from repro.core.errors import ReproError
 from repro.core.faults import DEAD
 from repro.core.protocol import Protocol, resolve
-from repro.core.scenario import Scenario
+from repro.core.scenario import Scenario, make_scenario_engine
 from repro.core.simulator import ENGINES, make_engine
 from repro.core.trace import Trace
 from repro.protocols import registry
@@ -524,6 +532,69 @@ def check_faults(protocol, spec, settings):
     return _ok(spec, "faults", detail)
 
 
+def check_adversarial(protocol, spec, settings):
+    """Adversarial-axis invariants: hook contracts, byzantine DEAD
+    invariants, and the adaptive targeted scheduler."""
+    n = conformance_population(protocol, settings)
+    if n < 3:
+        return _skip(spec, "adversarial", f"population n={n} too small")
+    # Notification-hook contract: enumerable protocols must map every
+    # declared state to None (no repair) or another declared state —
+    # the engines write the return value back verbatim.
+    hook_note = "hooks unchecked (structured states)"
+    if protocol.states is not None:
+        declared = set(protocol.states)
+        for hook_name in ("on_edge_loss", "on_neighbor_crash"):
+            hook = getattr(protocol, hook_name)
+            for state in sorted(declared, key=repr):
+                replacement = hook(state)
+                if replacement is not None and replacement not in declared:
+                    return _fail(
+                        spec, "adversarial",
+                        f"{hook_name}({state!r}) returned {replacement!r}, "
+                        "which is not in the declared state set",
+                    )
+        hook_note = f"hooks closed over |Q|={len(declared)}"
+    # Byzantine lies + a crash on the indexed engine: the structural
+    # DEAD invariants may not bend even while states are corrupted.
+    byz = Scenario(
+        faults=("byzantine:count=1,mode=replay", "crash:count=1,at=40")
+    )
+    sim = ENGINES["indexed"](seed=3, faults=byz.make_faults())
+    result = sim.run(
+        protocol, n, settings.fault_budget, require_convergence=False
+    )
+    config = result.config
+    dead = [u for u in range(config.n) if config.state(u) == DEAD]
+    if len(dead) != 1:
+        return _fail(
+            spec, "adversarial",
+            f"byzantine+crash left {len(dead)} DEAD nodes at n={n}, "
+            "expected exactly 1",
+        )
+    if config.neighbors(dead[0]):
+        return _fail(
+            spec, "adversarial",
+            f"DEAD node {dead[0]} still holds active edges under a "
+            f"byzantine plan: {sorted(config.neighbors(dead[0]))}",
+        )
+    protocol.stabilized(config)  # exception-free over corrupted runs
+    # Adaptive targeted scheduler: only the sequential engine supports
+    # it; the run and the final certificate must be exception-free.
+    targeted = Scenario(scheduler="targeted:aim=leader")
+    fresh = registry.instantiate(spec)
+    sim = make_scenario_engine("sequential", 4, targeted)
+    starved = sim.run(
+        fresh, n, settings.fault_budget, require_convergence=False
+    )
+    fresh.stabilized(starved.config)
+    return _ok(
+        spec, "adversarial",
+        f"n={n}, {hook_note}; byzantine DEAD invariants ok; "
+        f"targeted run ok ({starved.stop_reason})",
+    )
+
+
 #: check name -> callable(protocol, spec, settings) -> CheckOutcome.
 CHECKS: dict[str, Callable] = {
     "registry": check_registry,
@@ -533,6 +604,7 @@ CHECKS: dict[str, Callable] = {
     "engines": check_engines,
     "stabilization": check_stabilization,
     "faults": check_faults,
+    "adversarial": check_adversarial,
 }
 
 

@@ -30,6 +30,7 @@ from repro.testing import (
     run_conformance,
 )
 from repro.testing.conformance import (
+    check_adversarial,
     check_rule_table,
     check_state_closure,
     registered_protocol_classes,
@@ -216,6 +217,22 @@ class TestCheckersDetectViolations:
 
         outcome = check_rule_table(BadDist(), "baddist", DEFAULT_SETTINGS)
         assert not outcome.passed and "sum to 0.7" in outcome.detail
+
+    def test_adversarial_catches_leaky_notification_hooks(self):
+        class LeakyHook(Protocol):
+            name = "leakyhook"
+            initial_state = "a"
+            states = frozenset({"a"})
+
+            def delta(self, a, b, c):
+                return None
+
+            def on_edge_loss(self, state):
+                return "zzz"
+
+        outcome = check_adversarial(LeakyHook(), "leakyhook", DEFAULT_SETTINGS)
+        assert not outcome.passed
+        assert "on_edge_loss" in outcome.detail and "zzz" in outcome.detail
 
     def test_unknown_check_name_rejected(self):
         with pytest.raises(ConformanceError, match="unknown check"):

@@ -527,3 +527,28 @@ class TestFaultedDistributionalEquivalence:
             SimpleGlobalLine, 6,
             Scenario(faults=("arrive:count=3,at=100",)), 500_000,
         )
+
+    def test_edge_rate(self):
+        from repro.core.scenario import Scenario
+
+        # Per-edge independent failure: the m-slot Bernoulli clocks are
+        # step-indexed, so the skip-ahead engines must sample the same
+        # law as the step-walking sequential engine.
+        self._check(
+            SimpleGlobalLine, 8,
+            Scenario(faults=("edge-rate:rate=0.0001",)), 100_000,
+        )
+
+    def test_byzantine(self):
+        from repro.core.scenario import Scenario
+        from repro.protocols import FTGlobalLine
+
+        # State lies and silent edge-flag lies are scheduled on the
+        # same step-indexed clock in every engine; the corrupted line
+        # keeps re-stabilizing, so the re-stabilization law is the
+        # cross-engine observable.
+        self._check(
+            FTGlobalLine, 8,
+            Scenario(faults=("byzantine:count=2,rate=0.001,lie=0.5",)),
+            200_000,
+        )

@@ -375,6 +375,71 @@ class TestFTGlobalLine:
         assert failures > 0
 
 
+class TestEdgeLossRecovery:
+    """The flipped blind-spot regression: before ``on_edge_loss``
+    landed, environment edge deletions wrecked the fault-tolerant line
+    exactly like the plain one (the hook existed for crashes only).
+    Notified deletions are now part of its repair surface, so these
+    assert recovery — if the hook wiring regresses, they flip back."""
+
+    def test_ft_line_edge_loss_mirrors_the_crash_map(self):
+        protocol = FTGlobalLine()
+        for state in ("q0", "q1", "q2", "l", "w", "r"):
+            assert protocol.on_edge_loss(state) == (
+                protocol.on_neighbor_crash(state)
+            )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_ft_line_recovers_from_a_scheduled_cut(self, engine):
+        # Build the line to completion, then cut one of its actual
+        # edges and require a re-stabilized spanning line.
+        from repro.core.scenario import make_scenario_engine
+
+        protocol = FTGlobalLine()
+        built = run_to_convergence(protocol, 8, seed=21)
+        assert protocol.target_reached(built.config)
+        u, v = sorted(built.config.active_edges())[1]
+        scenario = Scenario(faults=(f"cut:edges={u}-{v},at=10",))
+        sim = make_scenario_engine(engine, 22, scenario)
+        result = sim.run(
+            protocol, 8, 5_000_000, config=built.config,
+            require_convergence=False,
+        )
+        assert result.converged
+        assert protocol.target_reached(result.config)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_ft_line_recovers_from_sustained_edge_drop(self, engine):
+        protocol = FTGlobalLine()
+        scenario = Scenario(faults=("edge-drop:rate=0.0005",))
+        for seed in range(2):
+            result = _run(protocol, 10, seed, engine, scenario)
+            assert result.converged
+            assert protocol.target_reached(result.config), (
+                f"seed {seed} did not re-stabilize after notified drops"
+            )
+
+    def test_simple_line_is_still_blind_to_edge_loss(self):
+        # The contrast pin: without the hook, cutting one interior edge
+        # of a finished plain line is unrepairable — no rule ever
+        # reconnects two q2 stubs.
+        from repro.core.scenario import make_scenario_engine
+
+        protocol = SimpleGlobalLine()
+        built = run_to_convergence(protocol, 8, seed=21)
+        interior = [
+            (u, v) for u, v in sorted(built.config.active_edges())
+            if built.config.state(u) == "q2" and built.config.state(v) == "q2"
+        ]
+        scenario = Scenario(faults=(f"cut:edges={interior[0][0]}-{interior[0][1]},at=10",))
+        sim = make_scenario_engine("indexed", 22, scenario)
+        result = sim.run(
+            protocol, 8, 2_000_000, config=built.config,
+            require_convergence=False,
+        )
+        assert not protocol.target_reached(result.config)
+
+
 class TestJoinStateValidation:
     def test_population_events_need_an_initial_state(self):
         protocol = SimpleGlobalLine()

@@ -59,6 +59,29 @@ class TestRobustnessSpec:
         assert spec.fault_spec(0.01) == "edge-drop:rate=0.01"
         spec = _small_spec(faults="churn", loads=(0.001,))
         assert spec.fault_spec(0.001) == "churn:rate=0.001"
+        spec = _small_spec(faults="edge-rate", loads=(0, 0.001))
+        assert spec.fault_spec(0.001) == "edge-rate:rate=0.001"
+
+    def test_byzantine_family_pins_a_differentiating_cadence(self):
+        # Byzantine loads are node counts; the family pins the lie rate
+        # below the model default so construction has begun before the
+        # first lie lands at bench populations.
+        spec = _small_spec(faults="byzantine", loads=(0, 2))
+        assert spec.fault_spec(2) == (
+            "byzantine:count=2,mode=random-state,rate=0.00001"
+        )
+        with pytest.raises(ExperimentError, match="integers"):
+            _small_spec(faults="byzantine", loads=(0.5,))
+
+    def test_scheduler_axis_canonicalized(self):
+        spec = _small_spec(scheduler="adversarial-targeted")
+        assert spec.scheduler == "targeted:aim=leader,bias=0.9"
+        assert RobustnessSpec.from_dict(spec.to_dict()) == spec
+        # Records written before the adversarial axis landed decode to
+        # the uniform scheduler.
+        payload = _small_spec().to_dict()
+        del payload["scheduler"]
+        assert RobustnessSpec.from_dict(payload).scheduler == "uniform"
 
     def test_validation(self):
         with pytest.raises(ExperimentError, match="fault family"):
@@ -75,7 +98,9 @@ class TestRobustnessSpec:
             _small_spec(loads=())
 
     def test_families_registry(self):
-        assert set(FAULT_FAMILIES) == {"crash", "edge-drop", "churn"}
+        assert set(FAULT_FAMILIES) == {
+            "crash", "edge-drop", "edge-rate", "churn", "byzantine",
+        }
 
     def test_expansion_order_and_count(self):
         spec = _small_spec(trials=3)
@@ -176,6 +201,82 @@ class TestRobustnessExecution:
             result.survival_rate("ft-global-line", 99)
 
 
+def _synthetic_result(curves: dict[str, dict[float, float]], loads=(0, 1, 2)):
+    """A RobustnessResult with prescribed survival rates (4 trials per
+    cell; rates must be multiples of 0.25)."""
+    from repro.analysis.robustness import RobustnessRecord
+
+    spec = _small_spec(protocols=tuple(curves), loads=tuple(loads))
+    records = []
+    for protocol, curve in curves.items():
+        for load in loads:
+            winners = round(curve[load] * 4)
+            for trial in range(4):
+                records.append(RobustnessRecord(
+                    protocol=protocol, load=load, n=spec.n, trial=trial,
+                    seed=trial, value=1.0, steps=100, effective_steps=50,
+                    converged=True, survived=trial < winners, alive=spec.n,
+                    stop_reason="stabilized", elapsed_seconds=0.0,
+                ))
+    return RobustnessResult(spec=spec, records=tuple(records))
+
+
+class TestDominanceEdgeCases:
+    def test_identical_curves_tie_both_ways(self):
+        result = _synthetic_result({
+            "simple-global-line": {0: 1.0, 1: 0.5, 2: 0.25},
+            "ft-global-line": {0: 1.0, 1: 0.5, 2: 0.25},
+        })
+        assert not result.dominates("ft-global-line", "simple-global-line")
+        assert not result.dominates("simple-global-line", "ft-global-line")
+
+    def test_strict_win_at_one_positive_load_suffices(self):
+        result = _synthetic_result({
+            "simple-global-line": {0: 1.0, 1: 0.5, 2: 0.25},
+            "ft-global-line": {0: 1.0, 1: 0.5, 2: 0.5},
+        })
+        assert result.dominates("ft-global-line", "simple-global-line")
+
+    def test_load_zero_advantage_alone_does_not_dominate(self):
+        # Winning only the faultless column is not fault tolerance.
+        result = _synthetic_result({
+            "simple-global-line": {0: 0.75, 1: 0.5, 2: 0.5},
+            "ft-global-line": {0: 1.0, 1: 0.5, 2: 0.5},
+        })
+        assert not result.dominates("ft-global-line", "simple-global-line")
+
+    def test_any_regression_forfeits_dominance(self):
+        result = _synthetic_result({
+            "simple-global-line": {0: 1.0, 1: 0.25, 2: 0.5},
+            "ft-global-line": {0: 1.0, 1: 1.0, 2: 0.25},
+        })
+        assert not result.dominates("ft-global-line", "simple-global-line")
+
+    def test_single_load_spec_never_dominates(self):
+        # A loads=(0,) grid has no positive load to be strictly better
+        # at, so dominance is unattainable by construction.
+        result = _synthetic_result(
+            {
+                "simple-global-line": {0: 0.5},
+                "ft-global-line": {0: 1.0},
+            },
+            loads=(0,),
+        )
+        assert not result.dominates("ft-global-line", "simple-global-line")
+
+    def test_missing_cells_raise_not_mislead(self):
+        result = _synthetic_result({
+            "simple-global-line": {0: 1.0, 1: 0.5, 2: 0.25},
+            "ft-global-line": {0: 1.0, 1: 0.5, 2: 0.5},
+        })
+        with pytest.raises(ExperimentError, match="no records"):
+            result.survival_rate("ft-global-line", 7)
+        with pytest.raises(ExperimentError, match="no records"):
+            result.dominates("rc-global-line", "simple-global-line")
+        curve = result.survival_curve("ft-global-line")
+        assert set(curve) == {0, 1, 2}
+
+
 class TestRobustnessAllEngines:
     @pytest.mark.parametrize("engine", ["indexed", "agitated", "sequential"])
     def test_grid_runs_on_every_engine(self, engine):
@@ -230,13 +331,31 @@ class TestBenchRobustness:
 
         out = tmp_path / "BENCH_robustness.json"
         record = bench_robustness(
-            n=12, trials=2, loads=(0, 2), jobs=1, out=str(out),
+            protocols=("simple-global-line", "ft-global-line"),
+            families={"crash": (0, 2)},
+            n=12, trials=2, jobs=1, out=str(out),
         )
-        assert record["schema"] == "repro-bench-robustness/1"
-        assert record["trial_count"] == 2 * 2 * 2
-        assert record["survival"]["ft-global-line"]["2"] == 1.0
-        assert record["survival_gap_at_top_load"]["gap"] >= 0
+        assert record["schema"] == "repro-bench-robustness/2"
+        assert record["protocols"] == ["simple-global-line", "ft-global-line"]
+        fam = record["families"]["crash"]
+        assert fam["trial_count"] == 2 * 2 * 2
+        assert fam["survival"]["ft-global-line"]["2"] == 1.0
+        assert fam["dominates"]["ft-global-line"]["simple-global-line"] is True
+        assert fam["dominates"]["simple-global-line"]["ft-global-line"] is False
         assert json.loads(out.read_text())["schema"] == record["schema"]
         text = format_bench_robustness(record)
-        assert "survival gap" in text
-        assert "ft-global-line" in text
+        assert "crash" in text
+        assert "ft-global-line dominates simple-global-line" in text
+
+    def test_bench_default_families_cover_adversarial_axis(self):
+        from repro.analysis.bench import (
+            ROBUSTNESS_FAMILIES,
+            ROBUSTNESS_PROTOCOLS,
+        )
+        from repro.analysis.robustness import FAULT_FAMILIES
+
+        assert "rc-global-line" in ROBUSTNESS_PROTOCOLS
+        assert {"byzantine", "edge-drop"} <= set(ROBUSTNESS_FAMILIES)
+        assert set(ROBUSTNESS_FAMILIES) <= set(FAULT_FAMILIES)
+        for loads in ROBUSTNESS_FAMILIES.values():
+            assert loads[0] == 0  # every grid anchors a fault-free column
