@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""AST lint: no global random state inside ``src/repro/``.
+
+Every stochastic choice in the simulator must flow through an explicit,
+seeded generator (``random.Random(seed)``, ``numpy.random.default_rng``)
+— that is what makes runs replayable, sweeps distributable across
+processes, and the verifier's counterexample replay meaningful.  Calls
+into the *module-level* convenience API (``random.randint(...)``,
+``numpy.random.rand(...)``) share one hidden global stream and silently
+break all of that, so this lint bans them outright.
+
+Allowed: constructing generators (``random.Random``,
+``random.SystemRandom``, ``numpy.random.default_rng``,
+``numpy.random.RandomState``, ``numpy.random.Generator``,
+``numpy.random.SeedSequence`` and the bit generators) and anything on an
+instance — the lint only tracks names resolving to the modules
+themselves, so ``rng.random()`` never trips it.
+
+Usage::
+
+    python benchmarks/lint_determinism.py [root ...]
+
+Exits 1 listing ``file:line: call`` for every offender (default root:
+``src/repro``).  Exercised by ``tests/test_determinism_lint.py`` and
+run in the CI lint job.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Attributes of the ``random`` module that do not touch the global
+#: stream: generator constructors only.
+ALLOWED_RANDOM = frozenset({"Random", "SystemRandom"})
+
+#: Attributes of ``numpy.random`` that construct explicit generators.
+ALLOWED_NUMPY_RANDOM = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """The dotted name of an expression (``np.random.rand``), or None
+    when it is not a plain name/attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _Linter(ast.NodeVisitor):
+    """One-module pass: resolve import aliases, then flag calls that
+    resolve to ``random.*`` / ``numpy.random.*`` module-level API."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        #: local alias -> canonical module path ("random", "numpy", ...).
+        self.aliases: dict[str, str] = {}
+        self.violations: list[tuple[int, str]] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in ("random", "numpy", "numpy.random"):
+                bound = alias.asname or alias.name.split(".")[0]
+                canonical = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                self.aliases[bound] = canonical
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in ALLOWED_RANDOM:
+                    self.violations.append((
+                        node.lineno,
+                        f"from random import {alias.name} "
+                        "(module-level API uses the hidden global stream; "
+                        "construct a random.Random(seed) instead)",
+                    ))
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in ALLOWED_NUMPY_RANDOM:
+                    self.violations.append((
+                        node.lineno,
+                        f"from numpy.random import {alias.name} "
+                        "(use numpy.random.default_rng(seed))",
+                    ))
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.aliases[alias.asname or "random"] = "numpy.random"
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            head, _, rest = dotted.partition(".")
+            canonical = self.aliases.get(head)
+            if canonical is not None and rest:
+                full = f"{canonical}.{rest}"
+                self._check(node.lineno, full)
+        self.generic_visit(node)
+
+    def _check(self, lineno: int, full: str) -> None:
+        if full.startswith("random."):
+            attr = full.split(".", 1)[1]
+            if "." not in attr and attr not in ALLOWED_RANDOM:
+                self.violations.append((
+                    lineno,
+                    f"{full}() uses the global random stream; construct "
+                    "a random.Random(seed) and thread it through",
+                ))
+        elif full.startswith("numpy.random."):
+            attr = full.split(".", 2)[2]
+            if "." not in attr and attr not in ALLOWED_NUMPY_RANDOM:
+                self.violations.append((
+                    lineno,
+                    f"{full}() uses the global numpy stream; use "
+                    "numpy.random.default_rng(seed)",
+                ))
+
+
+def lint_source(source: str, path: Path) -> list[tuple[int, str]]:
+    """Violations of one module's source, as (lineno, message) pairs."""
+    linter = _Linter(path)
+    linter.visit(ast.parse(source, filename=str(path)))
+    return sorted(linter.violations)
+
+
+def lint_tree(root: Path) -> list[str]:
+    """Violations under ``root``, as ``file:line: message`` strings."""
+    findings = []
+    for path in sorted(root.rglob("*.py")):
+        for lineno, message in lint_source(path.read_text(), path):
+            findings.append(f"{path}:{lineno}: {message}")
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    roots = [Path(p) for p in (argv or sys.argv[1:])] or [Path("src/repro")]
+    findings: list[str] = []
+    for root in roots:
+        if not root.exists():
+            print(f"lint_determinism: no such path {root}", file=sys.stderr)
+            return 2
+        findings.extend(lint_tree(root))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"lint_determinism: {len(findings)} unseeded global-stream "
+            "call(s); thread an explicit seeded generator instead",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: clean ({', '.join(map(str, roots))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,16 @@ stabilization and under-fault invariants; see ``repro.testing``)::
     repro-net conformance
     repro-net conformance line-tm universal:family=connected
     repro-net conformance --checks engines,stabilization --seeds 5
+
+Statically verify protocols — rule-table lints plus the
+symmetry-reduced exhaustive model checker (no engine in the loop; see
+``repro.verify`` and the cookbook in ``docs/experiments.md``)::
+
+    repro-net verify
+    repro-net verify --protocol simple-global-line --n 5
+    repro-net verify --protocol ft-global-line --checks model \\
+        --counterexample-dot cex.dot
+    repro-net verify --n 4 --cache-dir .verify-cache
 """
 
 from __future__ import annotations
@@ -293,6 +303,42 @@ def _build_parser() -> argparse.ArgumentParser:
     conform_p.add_argument(
         "--list-checks", action="store_true",
         help="list the available checks and exit",
+    )
+
+    verify_p = sub.add_parser(
+        "verify",
+        help="statically verify protocols: rule-table lints + "
+        "symmetry-reduced exhaustive model check",
+    )
+    verify_p.add_argument(
+        "--protocol", action="append", default=None, metavar="SPEC",
+        dest="protocols",
+        help="protocol spec to verify, repeatable (default: every "
+        "registered protocol)",
+    )
+    verify_p.add_argument(
+        "--n", type=int, default=None, metavar="N",
+        help="model-check population (default: smallest accepted of "
+        "4,5,3,2,6; protocols rejecting the explicit size are skipped)",
+    )
+    verify_p.add_argument(
+        "--checks", default="lints,model", metavar="NAMES",
+        help="comma-separated subset of {lints,model} (default: both)",
+    )
+    verify_p.add_argument(
+        "--max-configs", type=int, default=None, metavar="N",
+        help="cap on canonical configurations explored per protocol "
+        "(default: 200000)",
+    )
+    verify_p.add_argument(
+        "--counterexample-dot", default=None, metavar="PATH",
+        help="write the first violation's counterexample trace as a "
+        "multi-frame DOT file",
+    )
+    verify_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed cache of passing model-check verdicts "
+        "(reused across runs; violations are never cached)",
     )
 
     describe_p = sub.add_parser(
@@ -558,6 +604,114 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+#: Populations probed (in order) when ``verify`` is given no --n.
+VERIFY_POPULATIONS = (4, 5, 3, 2, 6)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import (
+        DEFAULT_MAX_CONFIGS,
+        VerifyCache,
+        VerifyError,
+        model_check,
+        protocol_digest,
+        run_lints,
+    )
+
+    checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+    unknown = set(checks) - {"lints", "model"}
+    if unknown:
+        raise SpecError(
+            f"unknown verify check(s) {sorted(unknown)}; "
+            "choose from 'lints', 'model'"
+        )
+    max_configs = (
+        args.max_configs if args.max_configs is not None
+        else DEFAULT_MAX_CONFIGS
+    )
+    cache = VerifyCache(args.cache_dir) if args.cache_dir else None
+    dot_path = args.counterexample_dot
+    specs = args.protocols or sorted(registry.names())
+    failures = 0
+    for spec in specs:
+        protocol = registry.instantiate(spec)
+        if protocol.states is None:
+            print(f"{spec}: SKIP (structured state space, no enumerable Q)")
+            continue
+        if "lints" in checks:
+            report = run_lints(protocol)
+            print(report.summary())
+            if not report.ok:
+                failures += 1
+        if "model" in checks:
+            if args.n is not None:
+                candidates: tuple[int, ...] = (args.n,)
+            else:
+                candidates = VERIFY_POPULATIONS
+            n = None
+            for candidate in candidates:
+                try:
+                    protocol.initial_configuration(candidate)
+                except ReproError:
+                    continue
+                n = candidate
+                break
+            if n is None:
+                print(
+                    f"{spec}: model SKIP (no accepted population in "
+                    f"{candidates})"
+                )
+                continue
+            digest = protocol_digest(
+                protocol, n, target=None, max_configs=max_configs
+            )
+            cached = cache.get(digest) if cache else None
+            if cached is not None:
+                print(
+                    f"{spec} @ n={n}: OK (cached verdict: "
+                    f"{cached.get('summary', 'passing')})"
+                )
+                continue
+            try:
+                result = model_check(protocol, n, max_configs=max_configs)
+            except VerifyError as exc:
+                print(f"{spec}: model SKIP ({exc})")
+                continue
+            print(result.summary())
+            if result.ok:
+                if cache:
+                    cache.put(digest, {
+                        "ok": True,
+                        "protocol": result.protocol,
+                        "n": result.n,
+                        "summary": (
+                            f"{result.n_configs} configs, "
+                            f"{result.n_terminal_sccs} terminal SCC(s), "
+                            f"checked={'+'.join(result.checked)}"
+                        ),
+                    })
+            else:
+                failures += 1
+                for violation in result.violations:
+                    if violation.counterexample is None:
+                        continue
+                    print(violation.counterexample.format())
+                    if dot_path:
+                        from repro.viz import trace_to_dot
+
+                        trace = violation.counterexample.to_trace()
+                        with open(dot_path, "w") as fh:
+                            fh.write(trace_to_dot(
+                                trace, name=protocol.name.replace("-", "_")
+                            ))
+                        print(f"counterexample DOT written to {dot_path}")
+                        dot_path = None  # first violation only
+    if failures:
+        print(f"repro-net verify: {failures} protocol(s) FAILED")
+        return 1
+    return 0
+
+
 def _describe_spec_entry(kind: str, registry_obj, spec: str) -> int:
     """Describe a scheduler/fault/init registry entry (the lighter
     :class:`~repro.core.params.SpecRegistry` records).
@@ -686,6 +840,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list(args)
         if args.command == "conformance":
             return _cmd_conformance(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
         if args.command == "describe":
             return _cmd_describe(args)
         if args.command == "run":

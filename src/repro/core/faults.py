@@ -86,6 +86,7 @@ import hashlib
 import math
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 from repro.core.configuration import Configuration
 from repro.core.errors import SimulationError
@@ -95,6 +96,11 @@ from repro.core.params import (
     format_pair_list,
     pair_list,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.protocol import Protocol, State
+
+_C = TypeVar("_C", bound=type)
 
 #: Sentinel state of a crashed node.  Not a member of any protocol's
 #: state set, so every rule lookup involving it is an ineffective
@@ -111,7 +117,7 @@ def register_fault(
     params: tuple[Param, ...] = (),
     description: str = "",
     aliases: tuple[str, ...] = (),
-):
+) -> Callable[[_C], _C]:
     """Class decorator: register a :class:`FaultModel` in :data:`FAULTS`."""
     return FAULTS.register(
         name, params=params, description=description, aliases=aliases
@@ -166,7 +172,7 @@ def compact_survivors(config: Configuration) -> Configuration:
     )
 
 
-def probability(raw) -> float:
+def probability(raw: float | str) -> float:
     """Coerce a sustained-fault rate, requiring ``0 < rate < 1``.
 
     >>> probability("0.25")
@@ -252,7 +258,7 @@ class FaultModel:
     bounded = True
 
     def compile(
-        self, n: int, rng: random.Random, protocol=None
+        self, n: int, rng: random.Random, protocol: Protocol | None = None
     ) -> FaultPlan:
         """Bind the model to a population size and a random stream.
 
@@ -290,7 +296,7 @@ class CrashFaults(FaultModel):
         self.at = at
 
     def compile(
-        self, n: int, rng: random.Random, protocol=None
+        self, n: int, rng: random.Random, protocol: Protocol | None = None
     ) -> FaultPlan:
         return _OneShotPlan(self.at, "crash", self.count, (), rng)
 
@@ -310,7 +316,7 @@ class EdgeCutFaults(FaultModel):
     """At step ``at``, deactivate each listed edge (no-ops for edges
     that are not active at that moment)."""
 
-    def __init__(self, edges, at: int = 0) -> None:
+    def __init__(self, edges: object, at: int = 0) -> None:
         try:
             self.edges = pair_list(edges)
         except (ValueError, TypeError) as exc:
@@ -320,7 +326,7 @@ class EdgeCutFaults(FaultModel):
         self.at = at
 
     def compile(
-        self, n: int, rng: random.Random, protocol=None
+        self, n: int, rng: random.Random, protocol: Protocol | None = None
     ) -> FaultPlan:
         for u, v in self.edges:
             if u >= n or v >= n:
@@ -333,7 +339,14 @@ class EdgeCutFaults(FaultModel):
 class _OneShotPlan(FaultPlan):
     """Shared plan for the scheduled one-shot models (crash / cut)."""
 
-    def __init__(self, at, kind, count, edges, rng):
+    def __init__(
+        self,
+        at: int,
+        kind: str,
+        count: int,
+        edges: tuple[tuple[int, int], ...],
+        rng: random.Random,
+    ) -> None:
         self.at = at
         self.kind = kind
         self.count = count
@@ -344,7 +357,9 @@ class _OneShotPlan(FaultPlan):
     def next_step(self, after: int) -> int | None:
         return self.at if after < self.at else None
 
-    def actions_at(self, step, config, alive):
+    def actions_at(
+        self, step: int, config: Configuration, alive: list[int]
+    ) -> list[FaultAction]:
         if step != self.at:
             return []
         if self.kind == "crash":
@@ -377,7 +392,7 @@ class EdgeDropFaults(FaultModel):
             raise SimulationError(str(exc)) from None
 
     def compile(
-        self, n: int, rng: random.Random, protocol=None
+        self, n: int, rng: random.Random, protocol: Protocol | None = None
     ) -> FaultPlan:
         return _DropPlan(self.rate, rng)
 
@@ -400,7 +415,9 @@ class _DropPlan(FaultPlan):
             self._next = _geometric_gap(self._next, self.rate, self.rng)
         return self._next
 
-    def actions_at(self, step, config, alive):
+    def actions_at(
+        self, step: int, config: Configuration, alive: list[int]
+    ) -> list[FaultAction]:
         if step != self._next:
             return []
         active = sorted(config.active_edges())
@@ -465,7 +482,7 @@ class EdgeRateFaults(FaultModel):
             raise SimulationError(str(exc)) from None
 
     def compile(
-        self, n: int, rng: random.Random, protocol=None
+        self, n: int, rng: random.Random, protocol: Protocol | None = None
     ) -> FaultPlan:
         return _EdgeRatePlan(self.rate, n, rng)
 
@@ -478,7 +495,7 @@ class _EdgeRatePlan(FaultPlan):
         self.rng = rng
         # P(at least one of the m clocks fires this step).
         self.p_total = -math.expm1(self.m * math.log1p(-rate))
-        self._next = (
+        self._next: int | None = (
             self._gap(0) if self.m and self.p_total < 1.0 else (1 if self.m else None)
         )
 
@@ -486,13 +503,13 @@ class _EdgeRatePlan(FaultPlan):
         return _geometric_gap(after, self.p_total, self.rng)
 
     def next_step(self, after: int) -> int | None:
-        if self._next is None:
+        nxt = self._next
+        if nxt is None:
             return None
-        while self._next <= after:
-            self._next = (
-                self._gap(self._next) if self.p_total < 1.0 else self._next + 1
-            )
-        return self._next
+        while nxt <= after:
+            nxt = self._gap(nxt) if self.p_total < 1.0 else nxt + 1
+        self._next = nxt
+        return nxt
 
     def _firing_count(self) -> int:
         """Exact draw of the number of firing clocks conditioned on at
@@ -509,13 +526,15 @@ class _EdgeRatePlan(FaultPlan):
             acc += pk
         return k
 
-    def actions_at(self, step, config, alive):
+    def actions_at(
+        self, step: int, config: Configuration, alive: list[int]
+    ) -> list[FaultAction]:
         if step != self._next:
             return []
         k = self._firing_count()
         slots = self.rng.sample(range(self.m), k)
         dead = {u for u in range(config.n) if config.state(u) == DEAD}
-        cut = []
+        cut: list[tuple[int, int]] = []
         for slot in sorted(slots):
             u, v = _unrank_pair(slot, self.n)
             if u in dead or v in dead:
@@ -607,14 +626,14 @@ class ByzantineFaults(FaultModel):
         self.lie = float(lie)
 
     def compile(
-        self, n: int, rng: random.Random, protocol=None
+        self, n: int, rng: random.Random, protocol: Protocol | None = None
     ) -> FaultPlan:
         if protocol is None:
             raise SimulationError(
                 "byzantine faults are protocol-aware: compile with the "
                 "protocol under attack (engines do this automatically)"
             )
-        state_pool: tuple = ()
+        state_pool: tuple[State, ...] = ()
         if self.mode == "random-state":
             if protocol.states is None:
                 raise SimulationError(
@@ -623,7 +642,7 @@ class ByzantineFaults(FaultModel):
                     f"mode=replay for structured-state protocols"
                 )
             state_pool = tuple(sorted(protocol.states, key=repr))
-        leader_lie = None
+        leader_lie: State | None = None
         if self.mode == "always-leader":
             if not protocol.leader_states:
                 raise SimulationError(
@@ -640,8 +659,15 @@ class ByzantineFaults(FaultModel):
 
 class _ByzantinePlan(FaultPlan):
     def __init__(
-        self, victims, rate, mode, lie_p, state_pool, leader_lie,
-        initial_state, rng,
+        self,
+        victims: tuple[int, ...],
+        rate: float,
+        mode: str,
+        lie_p: float,
+        state_pool: tuple[State, ...],
+        leader_lie: State | None,
+        initial_state: State,
+        rng: random.Random,
     ) -> None:
         self.victims = victims
         self.rate = rate
@@ -659,7 +685,9 @@ class _ByzantinePlan(FaultPlan):
             self._next = _geometric_gap(self._next, self.rate, self.rng)
         return self._next
 
-    def actions_at(self, step, config, alive):
+    def actions_at(
+        self, step: int, config: Configuration, alive: list[int]
+    ) -> list[FaultAction]:
         if step != self._next:
             return []
         rng = self.rng
@@ -725,7 +753,7 @@ class ArrivalFaults(FaultModel):
         self.at = at
 
     def compile(
-        self, n: int, rng: random.Random, protocol=None
+        self, n: int, rng: random.Random, protocol: Protocol | None = None
     ) -> FaultPlan:
         return _ArrivalPlan(self.at, self.count)
 
@@ -741,7 +769,9 @@ class _ArrivalPlan(FaultPlan):
     def next_step(self, after: int) -> int | None:
         return self.at if after < self.at else None
 
-    def actions_at(self, step, config, alive):
+    def actions_at(
+        self, step: int, config: Configuration, alive: list[int]
+    ) -> list[FaultAction]:
         if step != self.at:
             return []
         return [FaultAction(step, "arrive", count=self.count)]
@@ -779,7 +809,7 @@ class RecoverFaults(FaultModel):
         self.delay = delay
 
     def compile(
-        self, n: int, rng: random.Random, protocol=None
+        self, n: int, rng: random.Random, protocol: Protocol | None = None
     ) -> FaultPlan:
         return _RecoverPlan(self.at + self.delay, self.count, rng)
 
@@ -796,7 +826,9 @@ class _RecoverPlan(FaultPlan):
     def next_step(self, after: int) -> int | None:
         return self.at if after < self.at else None
 
-    def actions_at(self, step, config, alive):
+    def actions_at(
+        self, step: int, config: Configuration, alive: list[int]
+    ) -> list[FaultAction]:
         if step != self.at:
             return []
         dead = dead_nodes(config)
@@ -832,7 +864,7 @@ class ChurnFaults(FaultModel):
             raise SimulationError(str(exc)) from None
 
     def compile(
-        self, n: int, rng: random.Random, protocol=None
+        self, n: int, rng: random.Random, protocol: Protocol | None = None
     ) -> FaultPlan:
         return _ChurnPlan(self.rate, rng)
 
@@ -850,7 +882,9 @@ class _ChurnPlan(FaultPlan):
             self._next = _geometric_gap(self._next, self.rate, self.rng)
         return self._next
 
-    def actions_at(self, step, config, alive):
+    def actions_at(
+        self, step: int, config: Configuration, alive: list[int]
+    ) -> list[FaultAction]:
         if step != self._next or not alive:
             return []
         victim = sorted(alive)[self.rng.randrange(len(alive))]
@@ -877,7 +911,9 @@ class CompositeFaultPlan(FaultPlan):
         ]
         return min(steps) if steps else None
 
-    def actions_at(self, step, config, alive):
+    def actions_at(
+        self, step: int, config: Configuration, alive: list[int]
+    ) -> list[FaultAction]:
         actions: list[FaultAction] = []
         for plan in self.plans:
             actions.extend(plan.actions_at(step, config, alive))
@@ -898,7 +934,10 @@ def _fault_seed(seed: int | None) -> int | None:
 
 
 def compile_fault_plan(
-    models: tuple[FaultModel, ...], n: int, seed: int | None, protocol=None
+    models: tuple[FaultModel, ...],
+    n: int,
+    seed: int | None,
+    protocol: Protocol | None = None,
 ) -> FaultPlan | None:
     """Compile an engine's fault models into one plan (``None`` when the
     scenario has no faults — the hot loops skip all fault bookkeeping).

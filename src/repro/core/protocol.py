@@ -31,9 +31,14 @@ implementation accepts arbitrary distributions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Mapping
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping
 
 from repro.core.errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import random
+
+    from repro.core.configuration import Configuration
 
 #: A node state.  Any hashable value; plain strings for the paper's explicit
 #: protocols, tuples for the structured states of the generic constructors.
@@ -92,9 +97,11 @@ def _normalize_rhs(rhs: object) -> Distribution:
         # (probability, outcome) pairs and therefore never match this shape.
         return ((1.0, Outcome(*rhs)),)
     # A distribution: iterable of (prob, outcome-ish).
+    if not isinstance(rhs, Iterable):
+        raise ProtocolError(f"cannot interpret rule right-hand side: {rhs!r}")
     dist = []
     total = 0.0
-    for prob, outcome in rhs:  # type: ignore[union-attr]
+    for prob, outcome in rhs:
         if not isinstance(outcome, Outcome):
             outcome = Outcome(*outcome)
         if prob <= 0:
@@ -132,6 +139,20 @@ class Protocol:
         the adversarial machinery — the ``targeted:aim=leader`` scheduler
         starves these nodes and the ``byzantine:mode=always-leader`` fault
         model impersonates them.
+    fault_claims:
+        The fault families this protocol *claims* to survive, as a tuple
+        of ``"crash"`` / ``"edge-loss"`` markers.  Purely declarative:
+        the static verifier (:mod:`repro.verify`) reads it to decide
+        which notification hooks must cover the edge-capable states and
+        whether to model-check adversarial edge-deletion recovery.  The
+        default — no claims — matches the paper's fault-free setting.
+    lint_waivers:
+        Lint suppressions honored by :mod:`repro.verify.lints`.  Each
+        entry is either a bare finding code (``"dead-rule"``) waiving
+        every finding of that code, or ``"code:subject"`` waiving one
+        specific finding (the subject strings appear verbatim in lint
+        reports).  Use it to annotate *intentionally* unreachable states
+        or rules; an empty set means every finding is reportable.
     """
 
     name: str = "protocol"
@@ -139,6 +160,8 @@ class Protocol:
     output_states: frozenset | None = None
     states: frozenset | None = None
     leader_states: frozenset | None = None
+    fault_claims: tuple[str, ...] = ()
+    lint_waivers: frozenset = frozenset()
 
     # ------------------------------------------------------------------
     # Transition function
@@ -170,13 +193,17 @@ class Protocol:
     # ------------------------------------------------------------------
     # Stabilization hooks (used by the simulator and the benchmarks)
     # ------------------------------------------------------------------
-    def stabilized(self, config) -> bool:  # pragma: no cover - hook
+    def stabilized(
+        self, config: Configuration
+    ) -> bool:  # pragma: no cover - hook
         """Protocol-specific certificate that the *output graph* can never
         change again.  Default: no certificate (the simulator then relies
         on quiescence — an empty effective-pair set)."""
         return False
 
-    def target_reached(self, config) -> bool:  # pragma: no cover - hook
+    def target_reached(
+        self, config: Configuration
+    ) -> bool:  # pragma: no cover - hook
         """True when the output graph is a correct target construction.
         Used by tests; defaults to :meth:`stabilized`."""
         return self.stabilized(config)
@@ -223,7 +250,7 @@ class Protocol:
         """
         return None
 
-    def initial_configuration(self, n: int):
+    def initial_configuration(self, n: int) -> Configuration:
         """Build the initial configuration for ``n`` nodes.
 
         The default puts every node in :attr:`initial_state` with all edges
@@ -439,7 +466,7 @@ def resolve(
     return None
 
 
-def sample_outcome(dist: Distribution, rng) -> Outcome:
+def sample_outcome(dist: Distribution, rng: random.Random) -> Outcome:
     """Draw an outcome from a distribution using ``rng.random()``."""
     if len(dist) == 1:
         return dist[0][1]

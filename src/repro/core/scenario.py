@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
 
 from repro.core.configuration import Configuration
 from repro.core.errors import SimulationError
@@ -59,6 +60,8 @@ DEFAULT_SCHEDULER = "uniform"
 #: Registry of initial-configuration overrides.
 INITS = SpecRegistry("initial configuration")
 
+_C = TypeVar("_C", bound=type)
+
 
 def register_init(
     name: str,
@@ -66,7 +69,7 @@ def register_init(
     params: tuple[Param, ...] = (),
     description: str = "",
     aliases: tuple[str, ...] = (),
-):
+) -> Callable[[_C], _C]:
     """Class decorator: register an initial-configuration generator."""
     return INITS.register(
         name, params=params, description=description, aliases=aliases
@@ -292,7 +295,9 @@ def resolve_engine(
     return "sequential"
 
 
-def make_scenario_engine(engine: str, seed: int | None, scenario: Scenario):
+def make_scenario_engine(
+    engine: str, seed: int | None, scenario: Scenario
+) -> Any:
     """Instantiate ``engine`` wired up for ``scenario`` (scheduler for
     the sequential engine, compiled-on-run fault models for all)."""
     from repro.core.simulator import ENGINES

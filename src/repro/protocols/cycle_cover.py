@@ -17,6 +17,7 @@ from repro.protocols.registry import register_protocol
 @register_protocol(
     "cycle-cover",
     description="Protocol 3: 3-state cycle cover, Theta(n^2), time-optimal",
+    target="cycle-cover",
 )
 class CycleCover(TableProtocol):
     """Protocol 3 — *Cycle-Cover* (3 states, Θ(n²), time-optimal).

@@ -36,6 +36,7 @@ from repro.protocols.registry import register_protocol
 #: Losing one incident edge is locally indistinguishable from losing
 #: the neighbor behind it, so one map serves both hooks.
 _ON_CRASH: dict[State, State] = {
+    "q0": "q0",  # free node: nothing to repair, stays free
     "q1": "q0",  # endpoint lost its only neighbor: isolated, free again
     "l": "q0",   # endpoint leader lost its only neighbor: isolated
     "q2": "r",   # internal node now exposed: dissolve the fragment
@@ -48,6 +49,7 @@ _ON_CRASH: dict[State, State] = {
     "ft-global-line",
     aliases=("fault-tolerant-global-line",),
     description="crash-tolerant Simple-Global-Line (FTNC 2019 restart wave)",
+    target="spanning-line",
 )
 class FTGlobalLine(TableProtocol):
     """Crash-tolerant *Simple-Global-Line* (6 states).
@@ -81,6 +83,11 @@ class FTGlobalLine(TableProtocol):
     """
 
     leader_states = frozenset({"l", "w"})
+    #: The verifier's contract: the restart states are reachable only
+    #: *through* these fault families' notification hooks, and the
+    #: model checker probes edge-loss recovery from every stable
+    #: configuration (see :mod:`repro.verify`).
+    fault_claims = ("crash", "edge-loss")
 
     def __init__(self) -> None:
         super().__init__(

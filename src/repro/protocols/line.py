@@ -32,6 +32,7 @@ from repro.protocols.registry import register_protocol
 @register_protocol(
     "simple-global-line",
     description="Protocol 1: 5-state spanning line, Omega(n^4)/O(n^5)",
+    target="spanning-line",
 )
 class SimpleGlobalLine(TableProtocol):
     """Protocol 1 — *Simple-Global-Line*.
@@ -77,6 +78,7 @@ class SimpleGlobalLine(TableProtocol):
 @register_protocol(
     "fast-global-line",
     description="Protocol 2: 9-state spanning line, O(n^3)",
+    target="spanning-line",
 )
 class FastGlobalLine(TableProtocol):
     """Protocol 2 — *Fast-Global-Line* (9 states, O(n³)).
@@ -124,6 +126,7 @@ class FastGlobalLine(TableProtocol):
 @register_protocol(
     "faster-global-line",
     description="Protocol 10: 6-state spanning line, conjectured o(n^4)",
+    target="spanning-line",
 )
 class FasterGlobalLine(TableProtocol):
     """Protocol 10 — *Faster-Global-Line* (6 states, Section 7).
@@ -164,6 +167,7 @@ class FasterGlobalLine(TableProtocol):
 @register_protocol(
     "leader-driven-line",
     description="Pre-elected-leader line baseline, Theta(n^2 log n)",
+    target="spanning-line",
 )
 class LeaderDrivenLine(TableProtocol):
     """The Section 7 baseline: a pre-elected leader ``l`` absorbs free

@@ -78,6 +78,7 @@ def _s(i: int) -> State:
     params=(Param("k", int, default=2, minimum=0, help="spare budget"),),
     description="redundancy-coded line: crown repair, surviving leaders,"
     " k spares, byzantine sanitizers",
+    target="self-reported",
 )
 class RCGlobalLine(TableProtocol):
     """Redundancy-coded spanning line (``3k + 7`` states).
@@ -102,6 +103,11 @@ class RCGlobalLine(TableProtocol):
     exposed fragment end is *crowned* (``q2 -> l0``) rather than
     dissolved, and leaders survive by going free.
     """
+
+    #: See :mod:`repro.verify` — the lints close the state census over
+    #: the notification hooks for these families, and the model checker
+    #: probes edge-loss recovery from every stable configuration.
+    fault_claims = ("crash", "edge-loss")
 
     def __init__(self, k: int = 2) -> None:
         self.k = k
@@ -190,10 +196,14 @@ class RCGlobalLine(TableProtocol):
         # Damage map shared by both notification hooks.  The exposed
         # end of a cut fragment is crowned in place; an attached
         # leader that loses its edge goes free with its budget; free
-        # material returns None (nothing to repair).
+        # material (only edged at all when a byzantine fault corrupted
+        # a line node, hence covered for the missing-hook lint) stays
+        # put — the sanitizer rules do the actual cleanup.
         self._on_damage: dict[State, State] = {"q1": "q0", "q2": _l(0), "e": "q0"}
         for b in range(k + 1):
             self._on_damage[_l(b)] = _f(b)
+        for s in ("q0", "q", *spares, *free_leaders):
+            self._on_damage[s] = s
 
     def on_neighbor_crash(self, state: State) -> State | None:
         return self._on_damage.get(state)

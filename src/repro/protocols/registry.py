@@ -46,6 +46,7 @@ __all__ = [
     "Param",
     "ProtocolEntry",
     "RegistryError",
+    "TARGETS",
     "available",
     "canonical_spec",
     "get",
@@ -55,7 +56,111 @@ __all__ = [
     "parse_spec",
     "register_protocol",
     "spec_for",
+    "target_predicate",
 ]
+
+
+# ----------------------------------------------------------------------
+# Target predicates — declarable stable-network correctness metadata
+# ----------------------------------------------------------------------
+
+def _output_graph(protocol: Any, config: Any):
+    return config.output_graph(protocol.output_states)
+
+
+def _make_graph_target(predicate: Callable, **kwargs: Any) -> Callable:
+    def target(protocol: Any, config: Any) -> bool:
+        return bool(predicate(_output_graph(protocol, config), **kwargs))
+
+    return target
+
+
+def _self_reported(protocol: Any, config: Any) -> bool:
+    return bool(protocol.target_reached(config))
+
+
+def _targets() -> dict[str, Callable[[Any, Any], bool]]:
+    # Imported lazily so this module keeps its no-protocol-code-at-load
+    # property (core.graphs pulls in networkx, which is heavier than the
+    # params machinery this module otherwise needs).
+    from repro.core import graphs
+
+    return {
+        "spanning-line": _make_graph_target(graphs.is_spanning_line),
+        "spanning-ring": _make_graph_target(graphs.is_spanning_ring),
+        "spanning-star": _make_graph_target(graphs.is_spanning_star),
+        "cycle-cover": _make_graph_target(graphs.is_cycle_cover, waste=2),
+        "spanning-network": _make_graph_target(graphs.is_spanning_network),
+        "self-reported": _self_reported,
+    }
+
+
+class _TargetRegistry(dict):
+    """Lazily-populated ``name -> (protocol, config) -> bool`` mapping.
+
+    The names are the values accepted by ``register_protocol(target=…)``;
+    ``"self-reported"`` delegates to the protocol's own
+    :meth:`~repro.core.protocol.Protocol.target_reached` for targets (like
+    the redundancy-coded line) that no closed-form graph predicate
+    captures.
+    """
+
+    _loaded = False
+
+    def _ensure(self) -> None:
+        if not self._loaded:
+            self.update(_targets())
+            type(self)._loaded = True
+
+    def __missing__(self, key: str) -> Callable[[Any, Any], bool]:
+        self._ensure()
+        if key in self:
+            return dict.__getitem__(self, key)
+        raise RegistryError(
+            f"unknown target predicate {key!r}; choose from "
+            f"{', '.join(sorted(self))}"
+        )
+
+    def names(self) -> list[str]:
+        self._ensure()
+        return sorted(self)
+
+
+#: target name -> callable(protocol, config) -> bool.
+TARGETS = _TargetRegistry()
+
+
+def target_predicate(protocol: Any) -> Callable[[Any], bool] | None:
+    """The registered target predicate of an instantiated protocol, bound
+    to the instance as a ``config -> bool`` callable.
+
+    Resolution order: the registry entry's declared ``target`` name wins;
+    a protocol whose class overrides ``target_reached`` but declares no
+    name falls back to ``"self-reported"``; ``None`` means the protocol
+    has no target notion (the verifier then skips target checks).
+    """
+    from repro.core.protocol import Protocol
+
+    ensure_populated()
+    target_name = None
+    for entry in _REGISTRY.values():
+        if type(protocol) is entry.factory:
+            target_name = entry.target
+            break
+    if target_name is None:
+        overridden = (
+            type(protocol).target_reached is not Protocol.target_reached
+        )
+        if not overridden:
+            return None
+        target_name = "self-reported"
+    predicate = TARGETS[target_name]
+
+    def bound(config: Any) -> bool:
+        return predicate(protocol, config)
+
+    bound.target_name = target_name  # type: ignore[attr-defined]
+    return bound
 
 
 class RegistryError(SpecError):
@@ -72,6 +177,10 @@ class ProtocolEntry:
     description: str = ""
     aliases: tuple[str, ...] = ()
     shorthand: str | None = None
+    #: Declared stable-network target: a :data:`TARGETS` key, or ``None``
+    #: when the protocol has no target notion.  Consumed by the static
+    #: verifier's model checker (``repro-net verify``).
+    target: str | None = None
     _shorthand_re: re.Pattern | None = field(
         default=None, repr=False, compare=False
     )
@@ -124,15 +233,24 @@ def register_protocol(
     description: str = "",
     aliases: tuple[str, ...] = (),
     shorthand: str | None = None,
+    target: str | None = None,
 ):
     """Class decorator: register ``cls`` under ``name`` in the global
     protocol registry.
 
     ``shorthand`` is a full-match regex whose named groups are parameter
     values (e.g. ``r"(?P<k>\\d+)rc"`` lets ``3rc`` parse as ``k=3``).
-    Duplicate canonical names, aliases, or alias/name collisions raise
-    :class:`RegistryError` at import time.
+    ``target`` names the protocol's stable-network correctness predicate
+    (a :data:`TARGETS` key such as ``"spanning-line"``); it becomes
+    checkable metadata for the static verifier.  Duplicate canonical
+    names, aliases, or alias/name collisions raise :class:`RegistryError`
+    at import time.
     """
+    if target is not None and target not in TARGETS.names():
+        raise RegistryError(
+            f"protocol {name!r} declares unknown target {target!r}; "
+            f"choose from {', '.join(TARGETS.names())}"
+        )
 
     def decorate(cls):
         entry = ProtocolEntry(
@@ -142,6 +260,7 @@ def register_protocol(
             description=description,
             aliases=aliases,
             shorthand=shorthand,
+            target=target,
             _shorthand_re=re.compile(shorthand) if shorthand else None,
         )
         _add_entry(entry)

@@ -152,6 +152,9 @@ class NeighborDoubling(TableProtocol):
             rules[("q", f"a{i}", 1)] = (f"c{i + 1}", f"a{i + 1}", 1)
         for j in range(2, d + 1):
             rules[(f"c{j}", "a0", 0)] = ("q", f"a{j}", 1)
+        self._center_states = frozenset(
+            {"q0", "q0p", "q"} | {f"c{j}" for j in range(2, d + 1)}
+        )
         super().__init__(
             name=f"Neighbor-Doubling-2^{d}",
             initial_state="a0",
@@ -169,9 +172,21 @@ class NeighborDoubling(TableProtocol):
         return config
 
     def target_reached(self, config: Configuration) -> bool:
+        # The center is the unique node in a center state, not node 0:
+        # the dynamics are anonymous, so the predicate must hold under
+        # any relabeling of the initial layout (the model checker's
+        # canonical quotient exercises exactly that).
         target = 2 ** self.d
-        if config.degree(0) != target:
+        centers = [
+            u for u in range(config.n)
+            if config.state(u) in self._center_states
+        ]
+        if len(centers) != 1:
+            return False
+        center = centers[0]
+        if config.degree(center) != target:
             return False
         return all(
-            config.state(v) == f"a{self.d}" for v in config.neighbors(0)
+            config.state(v) == f"a{self.d}"
+            for v in config.neighbors(center)
         )

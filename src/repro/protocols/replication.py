@@ -31,6 +31,10 @@ from repro.core.graphs import graph_spec, isomorphic, named_graph
 from repro.core.protocol import TableProtocol, coin_flip
 from repro.protocols.registry import Param, register_protocol
 
+#: States of the replica (V2) side of the matching.  Everything else —
+#: ``q0`` and the leader-election/copy states — lives on the V1 side.
+_V2_STATES = frozenset({"r0", "r", "ra", "rd", "rp"})
+
 
 class GraphReplication(TableProtocol):
     """Protocol 9 — *Graph-Replication* (12 states).
@@ -110,24 +114,46 @@ class GraphReplication(TableProtocol):
 
     # ------------------------------------------------------------------
     def matching(self, config: Configuration) -> dict[int, int]:
-        """The V1 -> V2 matching induced by the active cross edges."""
-        n1 = self.n1
+        """The V1 -> V2 matching induced by the active cross edges.
+
+        Membership is decided by *state*, not node id: the dynamics are
+        anonymous, so the certificate must hold under any relabeling of
+        the nodes (the model checker's canonical quotient exercises
+        exactly that; node ``n1`` being a V2 node is an accident of the
+        concrete initial configuration).
+        """
         mu: dict[int, int] = {}
-        for u in range(n1):
-            partners = [v for v in config.neighbors(u) if v >= n1]
+        for u in range(config.n):
+            if config.state(u) in _V2_STATES:
+                continue
+            partners = [
+                v for v in config.neighbors(u)
+                if config.state(v) in _V2_STATES
+            ]
             if len(partners) == 1:
                 mu[u] = partners[0]
         return mu
 
     def _copy_correct(self, config: Configuration) -> bool:
-        """All V1 nodes matched and the matched V2 subgraph replicates E1
-        exactly (no missing and no extra edges)."""
-        n1 = self.n1
+        """All V1 nodes matched and the matched V2 subgraph mirrors the
+        active V1-side subgraph exactly (no missing and no extra edges).
+        No rule ever rewrites an edge between two V1-side nodes, so the
+        V1 active subgraph *is* E1 and the comparison needs no reference
+        to the initial numbering."""
+        v1 = [
+            u for u in range(config.n)
+            if config.state(u) not in _V2_STATES
+        ]
+        if len(v1) != self.n1:
+            return False
         mu = self.matching(config)
-        if len(mu) != n1:
+        if len(mu) != self.n1:
             return False
         wanted = {
-            frozenset((mu[u], mu[v])) for u, v in self.input_graph.edges()
+            frozenset((mu[u], mu[w]))
+            for i, u in enumerate(v1)
+            for w in v1[i + 1:]
+            if config.edge_state(u, w)
         }
         matched = set(mu.values())
         actual = {

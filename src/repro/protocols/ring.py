@@ -24,6 +24,7 @@ from repro.protocols.registry import register_protocol
 @register_protocol(
     "global-ring",
     description="Protocol 5: 10-state spanning ring (with the journal fix)",
+    target="spanning-ring",
 )
 class GlobalRing(TableProtocol):
     """Protocol 5 — *Global-Ring* (10 states).
@@ -100,6 +101,7 @@ class GlobalRing(TableProtocol):
     "2rc",
     description="Protocol 6: 6-state spanning ring via leader-carrying cycles",
     aliases=("two-regular-connected",),
+    target="spanning-ring",
 )
 class TwoRegularConnected(TableProtocol):
     """Protocol 6 — *2RC*: the generic-approach spanning ring (6 states).

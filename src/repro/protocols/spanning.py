@@ -18,6 +18,7 @@ from repro.protocols.registry import register_protocol
 @register_protocol(
     "spanning-network",
     description="Theorem 1: 2-state spanning network, Theta(n log n), optimal",
+    target="spanning-network",
 )
 class SpanningNetwork(TableProtocol):
     """Theorem 1's matching upper bound: ``(a,a,0) -> (b,b,1)`` and

@@ -16,6 +16,7 @@ from repro.protocols.registry import register_protocol
 @register_protocol(
     "global-star",
     description="Protocol 4: 2-state spanning star, Theta(n^2 log n), optimal",
+    target="spanning-star",
 )
 class GlobalStar(TableProtocol):
     """Protocol 4 — *Global-Star*.

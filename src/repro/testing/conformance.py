@@ -53,6 +53,19 @@ The checks
     active edges) even while the adversary lies about states; and the
     adaptive targeted scheduler runs the protocol through the
     sequential engine with an exception-free certificate at the end.
+``static-lints``
+    The rule-table lints of :func:`repro.verify.run_lints` (static —
+    no engine in the loop): no unreachable states, dead or effectless
+    rules, orientation conflicts, unused leader states, or missing
+    fault-notification hooks, modulo the protocol's declared
+    ``lint_waivers``.
+``model-check``
+    The symmetry-reduced exhaustive checker of
+    :func:`repro.verify.model_check` at a small population: every
+    terminal SCC of the canonical configuration graph satisfies the
+    registered target predicate, the stabilization certificate is
+    sound for output stability, and fault-claiming protocols recover
+    from one adversarial edge deletion.
 """
 
 from __future__ import annotations
@@ -115,6 +128,12 @@ class ConformanceSettings:
     band: float = 40.0
     #: Population sizes tried in order until the protocol accepts one.
     populations: tuple[int, ...] = (8, 12, 16, 9, 10, 4, 6, 7, 14, 15, 18, 20)
+    #: Population sizes tried in order for the exhaustive model check —
+    #: deliberately tiny (the canonical configuration graph grows
+    #: steeply in n); protocols accepting none of them skip the check.
+    model_populations: tuple[int, ...] = (4, 5, 3, 2, 6)
+    #: Cap on canonical configurations explored per model-check cell.
+    model_max_configs: int = 60_000
 
     def __post_init__(self) -> None:
         if self.seeds < 1:
@@ -595,6 +614,71 @@ def check_adversarial(protocol, spec, settings):
     )
 
 
+def check_static_lints(protocol, spec, settings):
+    """Rule-table lints over the reachable state abstraction — the
+    static layer's obligations (see :mod:`repro.verify.lints`)."""
+    # Imported lazily: repro.verify resolves targets through the
+    # registry, which this module also imports at load time.
+    from repro.verify import VerifyError, run_lints
+
+    if protocol.states is None:
+        return _skip(
+            spec, "static-lints", "structured state space (states=None)"
+        )
+    try:
+        report = run_lints(protocol)
+    except VerifyError as exc:
+        return _skip(spec, "static-lints", str(exc))
+    if not report.ok:
+        return _fail(spec, "static-lints", report.summary())
+    note = (
+        f"clean: reachable={len(report.abstraction.states)}"
+        f"/{report.declared_states}, "
+        f"enabled rules={len(report.abstraction.enabled)}"
+    )
+    if report.waived:
+        note += f", waived={len(report.waived)}"
+    return _ok(spec, "static-lints", note)
+
+
+def check_model_check(protocol, spec, settings):
+    """Exhaustive symmetry-reduced model check at the smallest accepted
+    population (see :mod:`repro.verify.model`)."""
+    from repro.verify import VerifyError, model_check
+
+    if protocol.states is None:
+        return _skip(
+            spec, "model-check", "structured state space (states=None)"
+        )
+    n = None
+    for candidate in settings.model_populations:
+        try:
+            protocol.initial_configuration(candidate)
+        except ReproError:
+            continue
+        n = candidate
+        break
+    if n is None:
+        return _skip(
+            spec, "model-check",
+            f"no accepted population in {settings.model_populations}",
+        )
+    try:
+        report = model_check(
+            protocol, n, max_configs=settings.model_max_configs
+        )
+    except VerifyError as exc:
+        return _skip(spec, "model-check", str(exc))
+    if not report.ok:
+        return _fail(spec, "model-check", report.summary())
+    return _ok(
+        spec, "model-check",
+        f"n={n}: {report.n_configs} canonical configs, "
+        f"{report.n_terminal_sccs} terminal SCC(s), "
+        f"checked={'+'.join(report.checked)}",
+    )
+
+
 #: check name -> callable(protocol, spec, settings) -> CheckOutcome.
 CHECKS: dict[str, Callable] = {
     "registry": check_registry,
@@ -605,6 +689,8 @@ CHECKS: dict[str, Callable] = {
     "stabilization": check_stabilization,
     "faults": check_faults,
     "adversarial": check_adversarial,
+    "static-lints": check_static_lints,
+    "model-check": check_model_check,
 }
 
 

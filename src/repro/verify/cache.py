@@ -1,0 +1,101 @@
+"""Content-addressed cache of passing model-check verdicts.
+
+The canonical state-graph exploration is the expensive half of
+``repro-net verify``; its verdict is a pure function of the protocol's
+transition behavior, the population size, the target predicate, and the
+verifier version.  Hashing those into a digest lets CI (and repeated
+local runs) skip re-exploration when nothing relevant changed — the
+registry-wide n=4 smoke becomes a directory of tiny JSON verdicts that
+``actions/cache`` carries between runs.
+
+Only **passing** verdicts are cached: a violation must re-derive its
+counterexample on every run (negative caching would hide the witness
+and go stale against counterexample-format changes for no benefit —
+failures are the rare, must-investigate case).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from pathlib import Path
+
+from repro.core.errors import ReproError
+from repro.core.protocol import Protocol, TableProtocol
+
+#: Bump to invalidate every cached verdict (checker semantics changed).
+VERIFY_CACHE_VERSION = 1
+
+
+def protocol_digest(
+    protocol: Protocol,
+    n: int,
+    *,
+    target: str | None,
+    max_configs: int,
+) -> str:
+    """A digest pinning everything a model-check verdict depends on."""
+    parts: list[str] = [
+        f"verify-cache-v{VERIFY_CACHE_VERSION}",
+        protocol.name,
+        f"n={n}",
+        f"target={target!r}",
+        f"max_configs={max_configs}",
+        f"claims={sorted(protocol.fault_claims)!r}",
+        f"waivers={sorted(protocol.lint_waivers)!r}",
+        f"output={sorted(protocol.output_states, key=repr)!r}"
+        if protocol.output_states is not None else "output=all",
+    ]
+    if isinstance(protocol, TableProtocol):
+        parts.append(repr(sorted(protocol.rules().items(), key=repr)))
+    try:
+        # Code-defined deltas, certificates, targets and hooks all live
+        # in the class body; its source pins them (and over-invalidating
+        # on unrelated edits to the same class is harmless).
+        parts.append(inspect.getsource(type(protocol)))
+    except (OSError, TypeError):
+        parts.append(type(protocol).__qualname__)
+    if protocol.states is not None:
+        for hook_name in ("on_neighbor_crash", "on_edge_loss"):
+            hook = getattr(protocol, hook_name)
+            parts.append(repr([
+                (repr(state), repr(hook(state)))
+                for state in sorted(protocol.states, key=repr)
+            ]))
+    try:
+        parts.append(repr(protocol.initial_configuration(n).signature()))
+    except ReproError:
+        parts.append("init=rejected")
+    blob = "\x00".join(parts).encode("utf-8", errors="replace")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class VerifyCache:
+    """Directory of ``<digest>.json`` passing-verdict records."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def get(self, digest: str) -> dict | None:
+        """The cached verdict payload, or None on miss/corruption."""
+        path = self.path(digest)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or not payload.get("ok"):
+            return None
+        return payload
+
+    def put(self, digest: str, payload: dict) -> None:
+        """Store a verdict; silently refuses non-passing payloads."""
+        if not payload.get("ok"):
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.path(digest).with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(self.path(digest))

@@ -7,7 +7,11 @@ from repro.viz.ascii_art import (
     render_star,
     state_summary,
 )
-from repro.viz.dot import configuration_to_dot, trace_to_dot_frames
+from repro.viz.dot import (
+    configuration_to_dot,
+    trace_to_dot,
+    trace_to_dot_frames,
+)
 
 __all__ = [
     "adjacency_art",
@@ -16,5 +20,6 @@ __all__ = [
     "render_line",
     "render_star",
     "state_summary",
+    "trace_to_dot",
     "trace_to_dot_frames",
 ]

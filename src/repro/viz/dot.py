@@ -45,3 +45,31 @@ def trace_to_dot_frames(
         configuration_to_dot(config, name=f"{name}_{step}")
         for step, config in trace.snapshots
     ]
+
+
+def trace_to_dot(trace: Trace, name: str = "net") -> str:
+    """Every snapshot frame in one DOT stream — Graphviz renders
+    multi-graph files frame by frame (``dot -Tsvg -O trace.dot`` emits
+    one image per frame), which is the handy shape for a single
+    counterexample file.  Each frame is preceded by a comment naming
+    the interaction that produced it."""
+    events = {event.step: event for event in trace.events}
+    parts = []
+    for i, (step, config) in enumerate(trace.snapshots):
+        event = events.get(step)
+        if i == 0:
+            parts.append("// frame 0: initial configuration")
+        elif event is not None:
+            edge = (
+                f", edge {event.edge_before}->{event.edge_after}"
+                if event.edge_changed else ""
+            )
+            parts.append(
+                f"// frame {i}: step {step} — ({event.u}, {event.v}) "
+                f"{event.u_before!r},{event.v_before!r} -> "
+                f"{event.u_after!r},{event.v_after!r}{edge}"
+            )
+        else:
+            parts.append(f"// frame {i}: step {step}")
+        parts.append(configuration_to_dot(config, name=f"{name}_{i}"))
+    return "\n".join(parts) + "\n"

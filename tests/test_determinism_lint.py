@@ -1,0 +1,88 @@
+"""The determinism AST lint: passes the real tree, catches plants.
+
+``benchmarks/lint_determinism.py`` bans module-level ``random.*`` /
+``numpy.random.*`` calls inside ``src/repro`` — the hidden global
+streams would break seeded replay and the verifier's counterexample
+machinery.  These tests pin both directions: the shipped tree is clean,
+and each smuggling idiom (plain import, alias, from-import, numpy
+attribute chain) is flagged.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from lint_determinism import (  # noqa: E402
+    lint_source,
+    lint_tree,
+    main,
+)
+
+
+def test_shipped_tree_is_clean():
+    assert lint_tree(REPO / "src" / "repro") == []
+
+
+def test_cli_entrypoint_reports_clean(capsys):
+    assert main([str(REPO / "src" / "repro")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_entrypoint_rejects_missing_root(tmp_path):
+    assert main([str(tmp_path / "nope")]) == 2
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import random\nrandom.random()\n",
+        "import random\nrandom.choice([1, 2])\n",
+        "import random\nrandom.seed(7)\n",
+        "import random as rnd\nrnd.randint(0, 3)\n",
+        "from random import randint\n",
+        "import numpy as np\nnp.random.rand(3)\n",
+        "import numpy.random\nnumpy.random.shuffle([1])\n",
+        "import numpy.random as nr\nnr.normal()\n",
+        "from numpy import random\nrandom.rand(2)\n",
+        "from numpy.random import rand\n",
+    ],
+)
+def test_global_stream_idioms_are_flagged(snippet):
+    findings = lint_source(snippet, Path("planted.py"))
+    assert findings, snippet
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        # the repo idiom: explicit seeded generators
+        "import random\nrng = random.Random(7)\nrng.random()\n",
+        "from random import Random\nRandom(0).choice([1])\n",
+        "import random\nrandom.SystemRandom().random()\n",
+        "import numpy as np\nrng = np.random.default_rng(7)\nrng.normal()\n",
+        "from numpy.random import default_rng\ndefault_rng(1).integers(4)\n",
+        "import numpy as np\nnp.random.RandomState(3).rand(2)\n",
+        # unrelated names that merely look like the modules
+        "class random:\n    pass\n",
+        "def f(random):\n    return random.choice([1])\n",
+        "import mymod.random as r\nr.choice([1])\n",
+    ],
+)
+def test_seeded_and_unrelated_idioms_pass(snippet):
+    assert lint_source(snippet, Path("ok.py")) == [], snippet
+
+
+def test_lint_tree_reports_file_and_line(tmp_path):
+    bad = tmp_path / "pkg" / "leaky.py"
+    bad.parent.mkdir()
+    bad.write_text("import random\n\n\nx = random.random()\n")
+    findings = lint_tree(tmp_path)
+    assert len(findings) == 1
+    assert findings[0].startswith(f"{bad}:4:")
+    assert main([str(tmp_path)]) == 1

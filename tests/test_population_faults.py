@@ -289,7 +289,10 @@ class TestCrashNotifications:
         assert protocol.on_neighbor_crash("q2") == "r"
         assert protocol.on_neighbor_crash("w") == "r"
         assert protocol.on_neighbor_crash("r") == "q0"
-        assert protocol.on_neighbor_crash("q0") is None
+        # Free nodes have nothing to repair: the q0 -> q0 no-op entry
+        # exists so the verifier's missing-hook lint sees every
+        # edge-capable state covered (returning None means "unhandled").
+        assert protocol.on_neighbor_crash("q0") == "q0"
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_notified_neighbors_change_state(self, engine):
