@@ -1,0 +1,52 @@
+"""Perf smoke test for the experiment service's result store.
+
+Runs :func:`repro.analysis.bench.bench_service` — the same sweep
+submitted twice to a :class:`~repro.service.jobs.JobService` over a
+fresh content-addressed store, then a cold run per worker count —
+writes the machine-readable record to ``BENCH_service.json`` at the
+repo root, and gates the cache contract:
+
+* the warm submission is served 100% from the store,
+* its result is byte-identical to the cold run's,
+* the warm pass beats the cold pass by a wide margin (reading JSON
+  records must not cost anything like running engines).
+
+Not collected by the default ``pytest`` run (the filename carries no
+``test_`` prefix, keeping tier-1 fast); invoke explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_service.py -s
+
+or run the same workload via ``python -m repro.cli bench --service``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.bench import bench_service, format_bench_service
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: A warm store must be at least this much faster than engines.  The
+#: observed ratio is two orders of magnitude; 5x keeps slow CI hosts
+#: green while still catching a cache that silently re-executes.
+MIN_WARM_SPEEDUP = 5.0
+
+
+def test_perf_service():
+    record = bench_service(out=str(OUT_PATH))
+    print()
+    print(format_bench_service(record))
+    print(f"\nwrote {OUT_PATH}")
+
+    assert record["warm_hit_rate"] == 1.0, (
+        f"warm submission missed the store: "
+        f"{record['warm_cache_hits']}/{record['trial_count']} hits"
+    )
+    assert record["results_identical"], (
+        "warm result is not byte-identical to the cold run"
+    )
+    assert record["warm_speedup"] >= MIN_WARM_SPEEDUP, (
+        f"warm cache speedup {record['warm_speedup']:.1f}x below "
+        f"{MIN_WARM_SPEEDUP}x — is the store being consulted?"
+    )

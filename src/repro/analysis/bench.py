@@ -428,6 +428,138 @@ def format_bench_robustness(record: dict) -> str:
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Service benchmark (cold vs warm result store, worker scaling)
+# ----------------------------------------------------------------------
+
+#: Default sweep for the service benchmark: the Figure 2 line protocol
+#: at sizes where a cold pass takes a few seconds, so the warm-cache
+#: ratio is measured against real engine time, not setup noise.
+SERVICE_SIZES: tuple[int, ...] = (30, 60, 120)
+SERVICE_TRIALS = 8
+#: Worker counts for the scaling sweep.  On a 1-core host the >1 rows
+#: measure pool overhead, not speedup; ``cpu_count`` in the record says
+#: which reading applies.
+SERVICE_WORKER_COUNTS: tuple[int, ...] = (1, 2, 4)
+
+
+def bench_service(
+    *,
+    protocol: str = "simple-global-line",
+    sizes: tuple[int, ...] = SERVICE_SIZES,
+    trials: int = SERVICE_TRIALS,
+    worker_counts: tuple[int, ...] = SERVICE_WORKER_COUNTS,
+    base_seed: int = 0,
+    out: str | None = None,
+) -> dict:
+    """Benchmark the experiment service: cold vs warm store, worker
+    scaling.
+
+    Submits the same sweep spec twice against a fresh
+    :class:`~repro.service.store.ResultStore`.  The headline is
+    ``warm_speedup``: the second submission must be served entirely from
+    the store (100% hit rate, byte-identical result), so its wall-clock
+    is pure store-read time.  The worker-scaling sweep then times a cold
+    run of the same spec at each pool width — meaningful relative to
+    ``cpu_count``, which the record carries.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.service.jobs import JobService
+    from repro.service.store import ResultStore
+
+    spec = ExperimentSpec(
+        protocol=protocol,
+        sizes=sizes,
+        trials=trials,
+        base_seed=base_seed,
+        label="service-bench",
+    )
+
+    async def _run(service: JobService):
+        job = await service.submit(spec)
+        await service.wait(job.id)
+        if job.state != "done":
+            raise RuntimeError(
+                f"service benchmark job ended {job.state}: {job.error}"
+            )
+        return job
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = JobService(store=ResultStore(tmp), workers=1)
+
+        async def _cold_warm():
+            start = time.perf_counter()
+            cold_job = await _run(service)
+            cold = time.perf_counter() - start
+            cold_json = cold_job.result().to_json()
+            start = time.perf_counter()
+            warm_job = await _run(service)
+            warm = time.perf_counter() - start
+            identical = cold_json == warm_job.result().to_json()
+            return cold, warm, warm_job, identical
+
+        cold_seconds, warm_seconds, warm_job, identical = asyncio.run(
+            _cold_warm()
+        )
+
+    scaling = []
+    for workers in worker_counts:
+        with tempfile.TemporaryDirectory() as tmp:
+            service = JobService(store=ResultStore(tmp), workers=workers)
+            start = time.perf_counter()
+            asyncio.run(_run(service))
+            seconds = time.perf_counter() - start
+        scaling.append({"workers": workers, "cold_seconds": seconds})
+    base = scaling[0]["cold_seconds"]
+    for row in scaling:
+        row["speedup_vs_1"] = base / row["cold_seconds"]
+
+    record = {
+        "schema": "repro-bench-service/1",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "spec": spec.to_dict(),
+        "trial_count": warm_job.total,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "warm_cache_hits": warm_job.cached,
+        "warm_hit_rate": warm_job.cached / warm_job.total,
+        "results_identical": identical,
+        "worker_scaling": scaling,
+    }
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    return record
+
+
+def format_bench_service(record: dict) -> str:
+    """Human-readable summary of a :func:`bench_service` record."""
+    spec = record["spec"]
+    lines = [
+        f"sweep          : {spec['protocol']} "
+        f"sizes={spec['sizes']} trials={spec['trials']}",
+        f"trials total   : {record['trial_count']}",
+        f"cold           : {record['cold_seconds']:.2f} s",
+        f"warm           : {record['warm_seconds']:.3f} s "
+        f"({record['warm_hit_rate']:.0%} cached)",
+        f"warm speedup   : {record['warm_speedup']:.1f}x",
+        f"results equal  : {record['results_identical']}",
+        f"worker scaling : (host has {record['cpu_count']} cores)",
+    ]
+    for row in record["worker_scaling"]:
+        lines.append(
+            f"  workers={row['workers']:<3} {row['cold_seconds']:>7.2f} s "
+            f"({row['speedup_vs_1']:.2f}x vs 1)"
+        )
+    return "\n".join(lines)
+
+
 def format_bench_runner(record: dict) -> str:
     """Human-readable summary of a :func:`bench_runner` record."""
     spec = record["spec"]

@@ -68,6 +68,7 @@ def run_trials(
     check_interval: int = 1,
     engine: str = "indexed",
     seed_policy: str = "legacy",
+    cache=None,
 ) -> list[int]:
     """Convergence times of ``trials`` independent runs at size ``n``.
 
@@ -77,10 +78,46 @@ def run_trials(
     :data:`repro.core.simulator.ENGINES` entry; all engines sample the
     same convergence-time distribution under the uniform random
     scheduler.
+
+    ``cache`` is a content-addressed
+    :class:`~repro.service.store.ResultStore`; it only engages when the
+    protocol resolves to a registry spec string (arbitrary factories
+    have no stable content address) — cached cells skip the engine,
+    fresh records are stored back.
     """
     factory = _as_factory(protocol_factory)
     seed_of = SEED_POLICIES[seed_policy]
-    times: list[int] = []
+    cache_spec: str | None = None
+    if cache is not None:
+        probe = factory()
+        cache_spec = registry.spec_for(probe)
+        if isinstance(protocol_factory, str) and cache_spec is None:
+            cache_spec = registry.canonical_spec(protocol_factory)
+    if cache is not None and cache_spec is not None:
+        from repro.analysis.runner import TrialSpec, run_trial
+        from repro.service.keys import code_digest, trial_key
+
+        code_version = code_digest(cache_spec)
+        times = []
+        for trial in range(trials):
+            spec = TrialSpec(
+                protocol=cache_spec,
+                n=n,
+                trial=trial,
+                seed=seed_of(base_seed, cache_spec, n, trial),
+                engine=engine,
+                measure=measure,
+                max_steps=max_steps,
+                check_interval=check_interval,
+            )
+            key = trial_key(spec, code_version=code_version)
+            record = cache.get(key)
+            if record is None:
+                record = run_trial(spec)
+                cache.put(key, record, "trial")
+            times.append(record.value)
+        return times
+    times = []
     for trial in range(trials):
         protocol = factory()
         record = run_one(

@@ -46,6 +46,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.analysis.runner import (
+    EXECUTION_COUNTER,
     MEASURES,
     ExperimentError,
     _hashed_seed,
@@ -337,6 +338,7 @@ class RobustnessRecord:
 
 def run_robustness_trial(trial: RobustnessTrial) -> RobustnessRecord:
     """Execute one :class:`RobustnessTrial` (module-level: picklable)."""
+    EXECUTION_COUNTER.increment()
     protocol = registry.instantiate(trial.protocol)
     scenario = Scenario(
         scheduler=trial.scheduler,
@@ -470,11 +472,44 @@ class RobustnessResult:
 # ----------------------------------------------------------------------
 
 def run_robustness(
-    spec: RobustnessSpec, jobs: int = 1, items: Sequence[RobustnessTrial] | None = None
+    spec: RobustnessSpec,
+    jobs: int = 1,
+    items: Sequence[RobustnessTrial] | None = None,
+    cache=None,
 ) -> RobustnessResult:
     """Expand ``spec`` and execute every trial (optionally across
     ``jobs`` worker processes; records are executor-independent, as for
-    the sweep runner).  Never partial — a trial failure propagates."""
+    the sweep runner).  Never partial — a trial failure propagates.
+
+    ``cache`` is a content-addressed
+    :class:`~repro.service.store.ResultStore`: trials with a stored
+    record are served from disk (zero engine runs on a warm store) and
+    fresh records are stored back, exactly as for
+    :class:`~repro.analysis.runner.Runner`.
+    """
     trials = spec.expand() if items is None else list(items)
-    records = pool_map(run_robustness_trial, trials, jobs)
+    if cache is None:
+        records = pool_map(run_robustness_trial, trials, jobs)
+        return RobustnessResult(spec=spec, records=tuple(records))
+    from repro.service.keys import code_digest, robustness_trial_key
+
+    code_versions = {p: code_digest(p) for p in {t.protocol for t in trials}}
+    by_index: dict[int, RobustnessRecord] = {}
+    misses: list[tuple[int, RobustnessTrial, str]] = []
+    for i, trial in enumerate(trials):
+        key = robustness_trial_key(
+            trial, code_version=code_versions[trial.protocol]
+        )
+        cached = cache.get(key)
+        if cached is None:
+            misses.append((i, trial, key))
+        else:
+            by_index[i] = cached
+    fresh = pool_map(
+        run_robustness_trial, [trial for _, trial, _ in misses], jobs
+    )
+    for (i, _, key), record in zip(misses, fresh):
+        cache.put(key, record, "robustness")
+        by_index[i] = record
+    records = [by_index[i] for i in range(len(trials))]
     return RobustnessResult(spec=spec, records=tuple(records))

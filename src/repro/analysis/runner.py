@@ -46,7 +46,7 @@ import multiprocessing
 import statistics
 import time
 from dataclasses import dataclass, replace
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.core.errors import ReproError
 from repro.core.protocol import Protocol
@@ -58,6 +58,9 @@ from repro.core.scenario import (
 )
 from repro.core.simulator import ENGINES, RunResult, make_engine
 from repro.protocols import registry
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (service sits above us)
+    from repro.service.store import ResultStore
 
 #: How to read "the time" off a run result.
 MEASURES: dict[str, Callable[[RunResult], int]] = {
@@ -337,6 +340,32 @@ class SweepResult:
 # Trial execution (shared by every executor and by analysis.experiments)
 # ----------------------------------------------------------------------
 
+class ExecutionCounter:
+    """Counts trials actually executed by an engine **in this process**.
+
+    The observability hook behind the cache contract: a sweep repeated
+    against a warm :class:`~repro.service.store.ResultStore` must
+    perform *zero* engine runs, and tests assert exactly that by
+    snapshotting :data:`EXECUTION_COUNTER` around the warm run.  Worker
+    processes hold their own module copy, so under the ``process``
+    executor the parent's counter stays at 0 — run the assertion with
+    the serial executor (or read it for what it is: in-process
+    executions only).
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def increment(self) -> None:
+        self.count += 1
+
+
+#: Module-level instance every trial-execution path bumps.
+EXECUTION_COUNTER = ExecutionCounter()
+
+
 def run_one(
     protocol: Protocol,
     *,
@@ -358,6 +387,7 @@ def run_one(
     resolve the engine through ``supports(scenario)`` and never raise on
     budget exhaustion — the record says ``converged=False`` instead.
     """
+    EXECUTION_COUNTER.increment()
     read = MEASURES[measure]
     if scenario is None or scenario.is_default:
         sim = make_engine(engine, seed=seed)
@@ -411,27 +441,58 @@ def run_trial(trial: TrialSpec) -> TrialRecord:
 # Executors
 # ----------------------------------------------------------------------
 
-def pool_map(fn: Callable, items: Sequence, jobs: int) -> list:
-    """Order-preserving map over a :mod:`multiprocessing` pool (in-process
-    when ``jobs == 1`` or there is nothing to fan out).
+#: Start method handed to :func:`multiprocessing.get_context` by
+#: :func:`pool_map` (``None`` = the platform default).  One knob for
+#: every process-pool consumer — the sweep executors, the robustness
+#: executor and the experiment service's worker fleet all fan out
+#: through :func:`pool_map`, so changing the spawn semantics (or the
+#: chunking policy below) happens in exactly one place.
+POOL_START_METHOD: str | None = None
 
-    ``fn`` must be a picklable module-level callable.  ``pool.map``
-    preserves input order, so parallel results line up with a serial
-    map's exactly — the mechanism behind the executor-equivalence
-    contract, shared by the sweep and robustness executors.
+#: Chunks per worker: ``chunksize = len(items) // (jobs * DIVISOR)``.
+#: 4 balances scheduling overhead against stragglers for trial-sized
+#: work items.
+POOL_CHUNK_DIVISOR = 4
+
+
+def pool_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: int,
+    *,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+) -> list:
+    """Order-preserving map — *the* process-pool entry point.
+
+    In-process when ``jobs == 1`` or there is nothing to fan out;
+    otherwise a :mod:`multiprocessing` pool with the module-level start
+    method and chunking policy.  ``fn`` must be a picklable module-level
+    callable.  ``pool.map`` preserves input order, so parallel results
+    line up with a serial map's exactly — the mechanism behind the
+    executor-equivalence contract.
+
+    ``initializer``/``initargs`` run once per worker process (the hook
+    for worker-level seeding or warm-up); trials themselves carry their
+    own seeds, so the default needs none.
     """
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1 or len(items) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(item) for item in items]
-    chunksize = max(1, len(items) // (jobs * 4))
-    with multiprocessing.Pool(processes=jobs) as pool:
+    chunksize = max(1, len(items) // (jobs * POOL_CHUNK_DIVISOR))
+    context = multiprocessing.get_context(POOL_START_METHOD)
+    with context.Pool(
+        processes=jobs, initializer=initializer, initargs=initargs
+    ) as pool:
         return pool.map(fn, list(items), chunksize=chunksize)
 
 
 def serial_executor(trials: Sequence[TrialSpec], jobs: int) -> list[TrialRecord]:
     """Run every trial in-process, in order."""
-    return [run_trial(trial) for trial in trials]
+    return pool_map(run_trial, trials, 1)
 
 
 def process_executor(trials: Sequence[TrialSpec], jobs: int) -> list[TrialRecord]:
@@ -453,10 +514,20 @@ class Runner:
 
     ``jobs`` is the parallelism degree; when ``executor`` is left empty
     it picks ``serial`` for ``jobs == 1`` and ``process`` otherwise.
+
+    ``cache`` plugs in a content-addressed
+    :class:`~repro.service.store.ResultStore`: trials whose key
+    (canonical trial JSON + protocol code digest, see
+    :mod:`repro.service.keys`) already has a stored record are served
+    from disk without touching an engine, and freshly executed records
+    are stored back.  Because the stored record *is* the cold run's
+    record (wall-clock timing included), a warm re-run returns a
+    :class:`SweepResult` byte-identical to the cold one.
     """
 
     jobs: int = 1
     executor: str = ""
+    cache: "ResultStore | None" = None
 
     def executor_name(self) -> str:
         if self.executor:
@@ -477,7 +548,27 @@ class Runner:
         # per-trial resolution itself is silent).
         resolve_engine(spec.engine, spec.scenario, warn=True)
         trials = spec.expand()
-        records = execute(trials, self.jobs)
+        if self.cache is None:
+            records = execute(trials, self.jobs)
+            return SweepResult(spec=spec, records=tuple(records))
+        # Imported lazily: the service layer sits above the runner.
+        from repro.service.keys import code_digest, trial_key
+
+        code_version = code_digest(spec.protocol)
+        by_index: dict[int, TrialRecord] = {}
+        misses: list[tuple[int, TrialSpec, str]] = []
+        for i, trial in enumerate(trials):
+            key = trial_key(trial, code_version=code_version)
+            cached = self.cache.get(key)
+            if cached is None:
+                misses.append((i, trial, key))
+            else:
+                by_index[i] = cached
+        fresh = execute([trial for _, trial, _ in misses], self.jobs)
+        for (i, _, key), record in zip(misses, fresh):
+            self.cache.put(key, record, "trial")
+            by_index[i] = record
+        records = [by_index[i] for i in range(len(trials))]
         return SweepResult(spec=spec, records=tuple(records))
 
     def run_all(self, specs: Iterable[ExperimentSpec]) -> list[SweepResult]:

@@ -12,6 +12,24 @@ Sweep sizes in parallel and persist the per-trial records::
     repro-net sweep cycle-cover --sizes 20,40,80 --trials 10 --jobs 4 \\
         --out sweep.json
 
+Cache trial records in a content-addressed store — a repeated sweep
+against a warm store performs zero engine steps and returns
+byte-identical results (see ``docs/experiments.md``)::
+
+    repro-net sweep cycle-cover --trials 10 --cache
+    repro-net sweep cycle-cover --trials 10 --cache   # 100% cached
+    repro-net run global-star -n 30 --cache .repro-store
+
+Or run the experiment service: an HTTP job queue that dedupes every
+submission against the store and shards misses across worker
+processes::
+
+    repro-net serve --workers 4 --store .repro-store
+    repro-net submit cycle-cover --sizes 20,40 --trials 10 --wait
+    repro-net status job-1
+    repro-net results job-1 --out sweep.json
+    repro-net cancel job-1
+
 Run under a non-default scenario — scheduler, fault injection, initial
 configuration (see ``docs/experiments.md``)::
 
@@ -97,6 +115,9 @@ from repro.core.serialization import (
 )
 from repro.core.simulator import ENGINES, run_to_convergence
 from repro.protocols import registry
+from repro.service.api import DEFAULT_HOST, DEFAULT_PORT
+from repro.service.client import DEFAULT_URL, ServiceClient
+from repro.service.store import ResultStore
 from repro.viz import component_summary, state_summary
 
 #: Step budget substituted when a scenario routes to the sequential
@@ -123,6 +144,49 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """The content-addressed store flags, shared by ``run``, ``sweep``
+    and ``robustness``."""
+    parser.add_argument(
+        "--cache", nargs="?", const=".repro-store", default=None,
+        metavar="DIR",
+        help="consult and fill a content-addressed result store "
+        "(bare --cache uses .repro-store); cached trials skip the engine",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="force recomputation: neither read nor write the store",
+    )
+
+
+def _add_submit_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep-shaped spec flags shared by ``sweep`` and ``submit``."""
+    parser.add_argument("protocol", help="registry spec (see 'run')")
+    parser.add_argument(
+        "--sizes", default="10,20,40", help="comma-separated population sizes"
+    )
+    parser.add_argument("--trials", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--engine", choices=sorted(ENGINES), default="indexed",
+        help="simulation engine (default: indexed)",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=None,
+        help="per-run step budget (required by --engine sequential)",
+    )
+    parser.add_argument(
+        "--measure", choices=sorted(MEASURES), default="output",
+        help="which time to read off each run (default: output)",
+    )
+    parser.add_argument(
+        "--seed-policy", choices=sorted(SEED_POLICIES), default="hashed",
+        help="per-trial seed derivation (default: hashed; 'legacy' "
+        "reproduces seed-era numbers)",
+    )
+    _add_scenario_arguments(parser)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-net",
@@ -147,31 +211,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulation engine (default: indexed)",
     )
     _add_scenario_arguments(run_p)
+    _add_cache_arguments(run_p)
 
     sweep_p = sub.add_parser("sweep", help="measure convergence across sizes")
-    sweep_p.add_argument("protocol", help="registry spec (see 'run')")
-    sweep_p.add_argument(
-        "--sizes", default="10,20,40", help="comma-separated population sizes"
-    )
-    sweep_p.add_argument("--trials", type=int, default=10)
-    sweep_p.add_argument("--seed", type=int, default=0)
-    sweep_p.add_argument(
-        "--engine", choices=sorted(ENGINES), default="indexed",
-        help="simulation engine (default: indexed)",
-    )
-    sweep_p.add_argument(
-        "--max-steps", type=int, default=None,
-        help="per-run step budget (required by --engine sequential)",
-    )
-    sweep_p.add_argument(
-        "--measure", choices=sorted(MEASURES), default="output",
-        help="which time to read off each run (default: output)",
-    )
-    sweep_p.add_argument(
-        "--seed-policy", choices=sorted(SEED_POLICIES), default="hashed",
-        help="per-trial seed derivation (default: hashed; 'legacy' "
-        "reproduces seed-era numbers)",
-    )
+    _add_submit_arguments(sweep_p)
     sweep_p.add_argument(
         "--jobs", type=int, default=1,
         help="parallel worker processes (default: 1 = in-process serial)",
@@ -180,7 +223,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="write the full SweepResult as JSON ('-' for stdout)",
     )
-    _add_scenario_arguments(sweep_p)
+    _add_cache_arguments(sweep_p)
 
     robust_p = sub.add_parser(
         "robustness",
@@ -235,6 +278,86 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="write the full RobustnessResult as JSON ('-' for stdout)",
     )
+    _add_cache_arguments(robust_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the experiment service: HTTP job queue + "
+        "content-addressed result store",
+    )
+    serve_p.add_argument("--host", default=DEFAULT_HOST)
+    serve_p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve_p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width trials are sharded across "
+        "(default: 1 = in-process serial)",
+    )
+    serve_p.add_argument(
+        "--store", default=".repro-store", metavar="DIR",
+        help="result-store directory (default: .repro-store; "
+        "'' disables caching)",
+    )
+    serve_p.add_argument(
+        "--batch-size", type=int, default=None,
+        help="trials dispatched per progress batch "
+        "(default: max(8, workers*4))",
+    )
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a sweep to a running experiment service"
+    )
+    _add_submit_arguments(submit_p)
+    submit_p.add_argument(
+        "--url", default=DEFAULT_URL,
+        help=f"service endpoint (default: {DEFAULT_URL})",
+    )
+    submit_p.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print its summary",
+    )
+    submit_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="with --wait: write the finished SweepResult as JSON "
+        "('-' for stdout)",
+    )
+
+    status_p = sub.add_parser(
+        "status", help="show job status on a running experiment service"
+    )
+    status_p.add_argument(
+        "job", nargs="?", default=None,
+        help="job id (default: list every job)",
+    )
+    status_p.add_argument(
+        "--url", default=DEFAULT_URL,
+        help=f"service endpoint (default: {DEFAULT_URL})",
+    )
+
+    results_p = sub.add_parser(
+        "results", help="fetch a job's (possibly partial) result"
+    )
+    results_p.add_argument("job", help="job id")
+    results_p.add_argument(
+        "--url", default=DEFAULT_URL,
+        help=f"service endpoint (default: {DEFAULT_URL})",
+    )
+    results_p.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes before fetching",
+    )
+    results_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the result as JSON ('-' for stdout)",
+    )
+
+    cancel_p = sub.add_parser(
+        "cancel", help="cancel a job on a running experiment service"
+    )
+    cancel_p.add_argument("job", help="job id")
+    cancel_p.add_argument(
+        "--url", default=DEFAULT_URL,
+        help=f"service endpoint (default: {DEFAULT_URL})",
+    )
 
     bench_p = sub.add_parser(
         "bench",
@@ -250,6 +373,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--robustness", action="store_true",
         help="run the crash-load robustness grid (plain vs "
         "fault-tolerant line) instead of the engine timings",
+    )
+    bench_p.add_argument(
+        "--service", action="store_true",
+        help="benchmark the experiment service: cold vs warm store and "
+        "worker-count scaling",
     )
     bench_p.add_argument(
         "--line-sizes",
@@ -384,15 +512,70 @@ def _apply_scenario_defaults(
         print(f"note: defaulting --max-steps to {DEFAULT_SCENARIO_BUDGET}")
 
 
+def _store_from_args(args: argparse.Namespace) -> ResultStore | None:
+    """The result store named by --cache, unless --no-cache vetoes it."""
+    if args.no_cache or args.cache is None:
+        return None
+    return ResultStore(args.cache)
+
+
+def _report_cache(store: ResultStore | None, total: int) -> None:
+    """The post-run cache summary line (format relied on by CI greps)."""
+    if store is None:
+        return
+    stats = store.stats()
+    print(f"\ncache: {stats.hits}/{total} trials cached ({store.root})")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     protocol = registry.instantiate(args.protocol)
     scenario = _scenario_from_args(args)
     if not scenario.is_default:
         _apply_scenario_defaults(args, scenario)
+    store = _store_from_args(args)
+    key = None
+    if store is not None:
+        from repro.analysis.runner import TrialSpec
+        from repro.service.keys import code_digest, trial_key
+
+        canonical = registry.canonical_spec(args.protocol)
+        trial = TrialSpec(
+            protocol=canonical, n=args.n, trial=0, seed=args.seed,
+            engine=args.engine, measure="output", max_steps=args.max_steps,
+            scenario=scenario,
+        )
+        key = trial_key(trial, code_version=code_digest(canonical))
+        record = store.get(key)
+        if record is not None:
+            print(f"protocol      : {protocol.name}")
+            print(f"population    : {args.n}")
+            if not scenario.is_default:
+                print(f"scenario      : {scenario.describe()}")
+                print(f"engine        : {args.engine}")
+            print(f"converged     : {record.converged} ({record.stop_reason})")
+            print(f"steps         : {record.steps}")
+            print(f"effective     : {record.effective_steps}")
+            print(f"convergence t : {record.value}")
+            print(
+                "cache         : hit — engine skipped (final-configuration "
+                "summaries need --no-cache)"
+            )
+            _report_cache(store, 1)
+            return 0
     result = run_to_convergence(
         protocol, args.n, seed=args.seed, max_steps=args.max_steps,
         engine=args.engine, scenario=scenario,
     )
+    if store is not None and key is not None:
+        from repro.analysis.runner import TrialRecord
+
+        store.put(key, TrialRecord(
+            n=args.n, trial=0, seed=args.seed,
+            value=MEASURES["output"](result), steps=result.steps,
+            effective_steps=result.effective_steps,
+            converged=result.converged, stop_reason=result.stop_reason,
+            elapsed_seconds=0.0,
+        ), "trial")
     alive = survivors(result.config)
     print(f"protocol      : {protocol.name}")
     print(f"population    : {args.n}")
@@ -413,23 +596,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    scenario = _scenario_from_args(args)
-    if not scenario.is_default:
-        _apply_scenario_defaults(args, scenario)
-    spec = ExperimentSpec(
-        protocol=args.protocol,
-        sizes=tuple(int(s) for s in args.sizes.split(",")),
-        trials=args.trials,
-        engine=args.engine,
-        measure=args.measure,
-        seed_policy=args.seed_policy,
-        base_seed=args.seed,
-        max_steps=args.max_steps,
-        scenario=scenario,
-    )
+    spec = _sweep_spec_from_args(args)
+    scenario = spec.scenario
     if not scenario.is_default:
         print(f"scenario: {scenario.describe()} (engine: {args.engine})\n")
-    result = Runner(jobs=args.jobs).run(spec)
+    store = _store_from_args(args)
+    result = Runner(jobs=args.jobs, cache=store).run(spec)
     summaries = result.summaries()
     print(f"{'n':>6} {'mean':>12} {'±95%':>10} {'min':>10} {'max':>10}")
     for n in spec.sizes:
@@ -443,6 +615,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             list(spec.sizes), [summaries[n].mean for n in spec.sizes]
         )
         print(f"\nfit: {fit.describe()}")
+    _report_cache(store, len(result.records))
     if args.out == "-":
         print(result.to_json())
     elif args.out is not None:
@@ -475,7 +648,8 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         f"n={spec.n} trials={spec.trials} at={spec.fault_at} "
         f"scheduler={spec.scheduler} engine={spec.engine}\n"
     )
-    result = run_robustness(spec, jobs=args.jobs)
+    store = _store_from_args(args)
+    result = run_robustness(spec, jobs=args.jobs, cache=store)
     width = max(len(p) for p in spec.protocols)
     print(
         f"{'protocol':<{width}} {'load':>8} {'survival':>9} "
@@ -502,6 +676,7 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
                 else "does NOT dominate"
             )
             print(f"\n{challenger} {verdict} {baseline} under {args.faults} load")
+    _report_cache(store, len(result.records))
     if args.out == "-":
         print(result.to_json())
     elif args.out is not None:
@@ -510,8 +685,130 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store_dir=args.store or None,
+        batch_size=args.batch_size,
+    )
+    return 0
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    scenario = _scenario_from_args(args)
+    if not scenario.is_default:
+        _apply_scenario_defaults(args, scenario)
+    return ExperimentSpec(
+        protocol=args.protocol,
+        sizes=tuple(int(s) for s in args.sizes.split(",")),
+        trials=args.trials,
+        engine=args.engine,
+        measure=args.measure,
+        seed_policy=args.seed_policy,
+        base_seed=args.seed,
+        max_steps=args.max_steps,
+        scenario=scenario,
+    )
+
+
+def _print_job_status(status: dict) -> None:
+    print(f"id        : {status['id']}")
+    print(f"kind      : {status['kind']}")
+    print(f"state     : {status['state']}")
+    print(f"trials    : {status['completed']}/{status['total']}")
+    print(f"cached    : {status['cached']}/{status['total']}")
+    if status["running"]:
+        print(f"running   : {status['running']}")
+    if status["error"]:
+        print(f"error     : {status['error']}")
+
+
+def _write_result_payload(payload: dict, out: str) -> None:
+    """Persist a fetched result — canonical key order, so two fetches of
+    identical results are byte-identical files (the CI contract)."""
+    import json
+
+    text = json.dumps(payload["result"], indent=2, sort_keys=True) + "\n"
+    if out == "-":
+        print(text, end="")
+    else:
+        with open(out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {out}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = _sweep_spec_from_args(args)
+    client = ServiceClient(args.url)
+    job = client.submit(spec.to_dict())
+    print(f"submitted {job['id']}: {job['total']} trials -> {args.url}")
+    if not args.wait:
+        print(f"poll with: repro-net status {job['id']} --url {args.url}")
+        return 0
+    status = client.wait(job["id"])
+    _print_job_status(status)
+    if args.out is not None:
+        _write_result_payload(client.result(job["id"]), args.out)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    if args.job is not None:
+        _print_job_status(client.status(args.job))
+        return 0
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(f"{'id':<10} {'kind':<12} {'state':<10} {'done':>9} {'cached':>9}")
+    for status in jobs:
+        print(
+            f"{status['id']:<10} {status['kind']:<12} {status['state']:<10} "
+            f"{status['completed']:>4}/{status['total']:<4} "
+            f"{status['cached']:>4}/{status['total']:<4}"
+        )
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    if args.wait:
+        client.wait(args.job)
+    payload = client.result(args.job)
+    print(f"id        : {payload['id']}")
+    print(f"state     : {payload['state']}")
+    print(f"partial   : {payload['partial']}")
+    print(f"trials    : {payload['completed']}/{payload['total']}")
+    print(f"cached    : {payload['cached']}/{payload['total']}")
+    if args.out is not None:
+        _write_result_payload(payload, args.out)
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    status = client.cancel(args.job)
+    print(f"{status['id']}: {status['state']}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    if args.robustness:
+    if args.service:
+        from repro.analysis.bench import bench_service, format_bench_service
+
+        out = "BENCH_service.json" if args.out is None else args.out
+        out = None if out == "-" else out
+        record = bench_service(
+            trials=8 if args.trials is None else args.trials,
+            base_seed=args.seed, out=out,
+        )
+        print(format_bench_service(record))
+    elif args.robustness:
         out = "BENCH_robustness.json" if args.out is None else args.out
         out = None if out == "-" else out
         record = bench_robustness(
@@ -852,6 +1149,16 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_robustness(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        if args.command == "results":
+            return _cmd_results(args)
+        if args.command == "cancel":
+            return _cmd_cancel(args)
     except ReproError as exc:
         # Expected model/simulation failures (budget exhausted, unknown
         # protocol spec, bad configuration...) get a clean one-liner, not

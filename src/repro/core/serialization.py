@@ -213,6 +213,51 @@ def experiment_spec_from_dict(payload: dict):
     )
 
 
+def trial_spec_to_dict(trial) -> dict:
+    """Serialize a :class:`repro.analysis.runner.TrialSpec`.
+
+    This is the payload the experiment service hashes into a
+    content-addressed result key (see :mod:`repro.service.keys`), so the
+    encoding is versioned and every field is a JSON scalar or a
+    canonical spec string — dumping it with sorted keys yields a stable
+    byte string regardless of construction order.
+    """
+    return {
+        "version": 1,
+        "kind": "trial",
+        "protocol": trial.protocol,
+        "n": trial.n,
+        "trial": trial.trial,
+        "seed": trial.seed,
+        "engine": trial.engine,
+        "measure": trial.measure,
+        "max_steps": trial.max_steps,
+        "check_interval": trial.check_interval,
+        "scenario": scenario_to_dict(trial.scenario),
+    }
+
+
+def trial_spec_from_dict(payload: dict):
+    from repro.analysis.runner import TrialSpec
+
+    if payload.get("version") != 1 or payload.get("kind") != "trial":
+        raise SerializationError(
+            f"unsupported trial spec payload "
+            f"{payload.get('version')!r}/{payload.get('kind')!r}"
+        )
+    return TrialSpec(
+        protocol=payload["protocol"],
+        n=payload["n"],
+        trial=payload["trial"],
+        seed=payload["seed"],
+        engine=payload["engine"],
+        measure=payload["measure"],
+        max_steps=payload["max_steps"],
+        check_interval=payload["check_interval"],
+        scenario=scenario_from_dict(payload.get("scenario")),
+    )
+
+
 def trial_record_to_dict(record) -> dict:
     return {
         "n": record.n,
@@ -325,6 +370,50 @@ def robustness_spec_from_dict(payload: dict):
     )
 
 
+def robustness_trial_to_dict(trial) -> dict:
+    """Serialize a :class:`repro.analysis.robustness.RobustnessTrial`
+    (the robustness analogue of :func:`trial_spec_to_dict`; the ``kind``
+    tag keeps the two key spaces disjoint in the result store)."""
+    return {
+        "version": 1,
+        "kind": "robustness",
+        "protocol": trial.protocol,
+        "n": trial.n,
+        "load": trial.load,
+        "trial": trial.trial,
+        "seed": trial.seed,
+        "fault": trial.fault,
+        "scheduler": trial.scheduler,
+        "engine": trial.engine,
+        "measure": trial.measure,
+        "max_steps": trial.max_steps,
+        "check_interval": trial.check_interval,
+    }
+
+
+def robustness_trial_from_dict(payload: dict):
+    from repro.analysis.robustness import RobustnessTrial
+
+    if payload.get("version") != 1 or payload.get("kind") != "robustness":
+        raise SerializationError(
+            f"unsupported robustness trial payload "
+            f"{payload.get('version')!r}/{payload.get('kind')!r}"
+        )
+    return RobustnessTrial(
+        protocol=payload["protocol"],
+        n=payload["n"],
+        load=payload["load"],
+        trial=payload["trial"],
+        seed=payload["seed"],
+        fault=payload["fault"],
+        scheduler=payload["scheduler"],
+        engine=payload["engine"],
+        measure=payload["measure"],
+        max_steps=payload["max_steps"],
+        check_interval=payload["check_interval"],
+    )
+
+
 def robustness_record_to_dict(record) -> dict:
     return {
         "protocol": record.protocol,
@@ -395,6 +484,60 @@ def dump_robustness_result(result, path: str) -> None:
 def load_robustness_result(path: str):
     with open(path, encoding="utf-8") as handle:
         return robustness_result_from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Stored trial records (repro.service.store)
+# ----------------------------------------------------------------------
+
+#: Version of the on-disk envelope the experiment service's
+#: :class:`repro.service.store.ResultStore` writes around each record.
+#: Bump on any incompatible change to the record encodings above — the
+#: store treats entries with an unknown version as misses and its ``gc``
+#: collects them.
+STORED_RECORD_VERSION = 1
+
+#: ``kind`` tag -> record codec, shared by the envelope and the
+#: content-addressed key payloads (``trial_spec_to_dict`` /
+#: ``robustness_trial_to_dict`` stamp the same tags).
+_RECORD_CODECS = {
+    "trial": (trial_record_to_dict, trial_record_from_dict),
+    "robustness": (robustness_record_to_dict, robustness_record_from_dict),
+}
+
+
+def stored_record_to_dict(key: str, kind: str, record) -> dict:
+    """The versioned envelope one result-store entry is written as."""
+    if kind not in _RECORD_CODECS:
+        raise SerializationError(
+            f"unknown stored record kind {kind!r}; "
+            f"choose from {sorted(_RECORD_CODECS)}"
+        )
+    encode, _ = _RECORD_CODECS[kind]
+    return {
+        "version": STORED_RECORD_VERSION,
+        "key": key,
+        "kind": kind,
+        "record": encode(record),
+    }
+
+
+def stored_record_from_dict(payload: dict):
+    """Inverse of :func:`stored_record_to_dict`:
+    ``(key, kind, record)``."""
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"stored record payload must be a dict, got {type(payload).__name__}"
+        )
+    if payload.get("version") != STORED_RECORD_VERSION:
+        raise SerializationError(
+            f"unsupported stored record version {payload.get('version')!r}"
+        )
+    kind = payload.get("kind")
+    if kind not in _RECORD_CODECS:
+        raise SerializationError(f"unknown stored record kind {kind!r}")
+    _, decode = _RECORD_CODECS[kind]
+    return payload["key"], kind, decode(payload["record"])
 
 
 def parallel_time(steps: int, n: int) -> float:

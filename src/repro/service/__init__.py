@@ -1,0 +1,47 @@
+"""Experiment service: content-addressed result store + async job queue.
+
+Layered above :mod:`repro.analysis` (which never imports this package
+except lazily through its optional ``cache=`` parameters):
+
+- :mod:`repro.service.keys` — stable content addresses for trials:
+  sha256 over (canonical spec JSON, protocol-behavior digest, schema
+  version), so editing one protocol invalidates only its own cells.
+- :mod:`repro.service.store` — sharded, atomic, file-based
+  :class:`ResultStore` with stats and garbage collection.
+- :mod:`repro.service.jobs` — asyncio :class:`JobService`: expands
+  specs, dedupes against the store, shards misses across the process
+  pool in batches, streams progress.
+- :mod:`repro.service.api` — plain-JSON HTTP front end
+  (:class:`ExperimentService`, ``repro-net serve``).
+- :mod:`repro.service.client` — stdlib urllib :class:`ServiceClient`.
+"""
+
+from repro.service.api import ExperimentService, serve
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobService
+from repro.service.keys import (
+    SCHEMA_VERSION,
+    behavior_digest,
+    code_digest,
+    robustness_trial_key,
+    trial_key,
+)
+from repro.service.store import GcStats, ResultStore, StoreError, StoreStats
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ExperimentService",
+    "GcStats",
+    "Job",
+    "JobService",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "StoreError",
+    "StoreStats",
+    "behavior_digest",
+    "code_digest",
+    "robustness_trial_key",
+    "serve",
+    "trial_key",
+]

@@ -1,0 +1,121 @@
+"""Thin urllib client for the experiment service.
+
+One class, :class:`ServiceClient`, speaking the plain-JSON protocol of
+:mod:`repro.service.api`.  Stdlib only (``urllib.request``) so scripts
+and CI can talk to a running ``repro-net serve`` without any
+dependencies.  Connection failures and HTTP error payloads both surface
+as :class:`ServiceError` with the server's ``{"error": ...}`` message
+when one came back.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.core.errors import ReproError
+from repro.service.api import DEFAULT_HOST, DEFAULT_PORT
+
+DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+
+class ServiceError(ReproError):
+    """A service request failed (connection refused, HTTP error, or a
+    job that finished ``failed``)."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Client for one service endpoint (``url`` like
+    ``http://127.0.0.1:8642``)."""
+
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        req = urllib.request.Request(
+            f"{self.url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except ValueError:
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def submit(self, spec_dict: dict, kind: str = "sweep") -> dict:
+        """Submit a spec payload (``spec.to_dict()``); returns the job
+        status dict (``{"id": ..., "state": ...}``)."""
+        payload = self._request(
+            "POST", "/jobs", {"kind": kind, "spec": spec_dict}
+        )
+        return payload["job"]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The ``/result`` payload — ``payload["result"]`` holds the
+        serialized (possibly partial) sweep/robustness result."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(
+        self,
+        job_id: str,
+        poll: float = 0.2,
+        timeout: float | None = None,
+    ) -> dict:
+        """Poll until the job is terminal; returns its final status.
+
+        Raises :class:`ServiceError` if the job ``failed`` or the
+        timeout elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                if status["state"] == "failed":
+                    raise ServiceError(
+                        f"job {job_id} failed: {status['error']}"
+                    )
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"({status['completed']}/{status['total']} done)"
+                )
+            time.sleep(poll)
+
+    def store_stats(self) -> dict:
+        return self._request("GET", "/store/stats")["store"]
+
+    def store_gc(self) -> dict:
+        return self._request("POST", "/store/gc")

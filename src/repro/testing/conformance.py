@@ -32,10 +32,12 @@ The checks
 ``engines``
     Three-engine cross-check: all engines converge on the same
     instances, reach the target when one is declared, and their
-    median convergence measures agree within a coarse band.  (The
-    fine-grained KS/CI-band distributional suite lives in
-    ``tests/test_indexed_engine.py``; this is the cheap registry-wide
-    smoke version.)
+    median convergence measures agree within a coarse band.  On a
+    rotating subset of protocols (membership hashed from
+    ``ks_seed``, which CI varies per run) the check escalates to a
+    two-sample Kolmogorov–Smirnov test over ``ks_samples`` runs per
+    engine pair — over many CI runs every protocol gets the
+    distributional comparison without every run paying for it.
 ``stabilization``
     Runs stabilize within budget on every seed, the certificate is
     consistent with the final configuration, and an overridden
@@ -70,12 +72,15 @@ The checks
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 import inspect
+import math
+import os
 import pkgutil
 import statistics
-from dataclasses import dataclass
-from itertools import product
+from dataclasses import dataclass, field
+from itertools import combinations, product
 from typing import Callable, Iterable, Iterator
 
 from repro.core.errors import ReproError
@@ -126,6 +131,26 @@ class ConformanceSettings:
     state_cap: int = 20_000
     #: Multiplicative band for the cross-engine median comparison.
     band: float = 40.0
+    #: Seed of the KS rotation (which protocols get the distributional
+    #: engine comparison this run) and of the sampled runs themselves.
+    #: Defaults from ``REPRO_CONFORMANCE_KS_SEED`` so CI can rotate the
+    #: subset per run while any given run stays reproducible.
+    ks_seed: int = field(
+        default_factory=lambda: int(
+            os.environ.get("REPRO_CONFORMANCE_KS_SEED", "0")
+        )
+    )
+    #: Fraction of protocols in the KS rotation each run (membership is
+    #: hashed from ``(ks_seed, spec)``, so over many seeds every
+    #: protocol is covered).
+    ks_fraction: float = 0.25
+    #: Per-engine sample size for the two-sample KS test (small on
+    #: purpose — with n=m=8 only gross distributional disagreement can
+    #: clear the critical value, which is the right bar for a
+    #: registry-wide smoke check).
+    ks_samples: int = 8
+    #: Significance level of the KS critical value.
+    ks_alpha: float = 0.01
     #: Population sizes tried in order until the protocol accepts one.
     populations: tuple[int, ...] = (8, 12, 16, 9, 10, 4, 6, 7, 14, 15, 18, 20)
     #: Population sizes tried in order for the exhaustive model check —
@@ -143,6 +168,19 @@ class ConformanceSettings:
             )
         if not self.populations:
             raise ConformanceError("populations must not be empty")
+        if not 0.0 <= self.ks_fraction <= 1.0:
+            raise ConformanceError(
+                f"ks_fraction must be in [0, 1], got {self.ks_fraction}"
+            )
+        if self.ks_samples < 2:
+            raise ConformanceError(
+                f"ks_samples must be >= 2, got {self.ks_samples} "
+                "(a KS test needs a sample on each side)"
+            )
+        if not 0.0 < self.ks_alpha < 1.0:
+            raise ConformanceError(
+                f"ks_alpha must be in (0, 1), got {self.ks_alpha}"
+            )
 
 
 DEFAULT_SETTINGS = ConformanceSettings()
@@ -414,10 +452,56 @@ def check_compile(protocol, spec, settings):
     return _ok(spec, "compile", f"{len(triples)} triples ({source})")
 
 
+def ks_statistic(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic: the supremum distance
+    between the samples' empirical CDFs (hand-rolled — stdlib only, and
+    the inputs are tiny)."""
+    import bisect
+
+    xs, ys = sorted(xs), sorted(ys)
+    if not xs or not ys:
+        raise ConformanceError("KS statistic needs non-empty samples")
+    return max(
+        abs(
+            bisect.bisect_right(xs, t) / len(xs)
+            - bisect.bisect_right(ys, t) / len(ys)
+        )
+        for t in set(xs) | set(ys)
+    )
+
+
+def ks_threshold(n: int, m: int, alpha: float) -> float:
+    """Critical value of the two-sample KS statistic at level ``alpha``
+    (the classical large-sample approximation
+    ``c(a) * sqrt((n + m) / (n * m))`` with
+    ``c(a) = sqrt(-ln(a / 2) / 2)``)."""
+    c = math.sqrt(-math.log(alpha / 2.0) / 2.0)
+    return c * math.sqrt((n + m) / (n * m))
+
+
+def in_ks_rotation(spec: str, settings: ConformanceSettings) -> bool:
+    """Whether ``spec`` gets the distributional engine comparison this
+    run: membership is a hash of ``(ks_seed, spec)``, so one run covers
+    a ``ks_fraction`` slice of the registry and successive seeds rotate
+    the slice over every protocol."""
+    digest = hashlib.sha256(
+        f"{settings.ks_seed}|{spec}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64 < settings.ks_fraction
+
+
+def _ks_run_seed(ks_seed: int, spec: str, index: int) -> int:
+    """Stable per-sample engine seed for a rotated protocol's KS runs."""
+    digest = hashlib.sha256(
+        f"{ks_seed}|{spec}|{index}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
 def check_engines(protocol, spec, settings):
-    """Three-engine cross-check: convergence, target, coarse agreement."""
+    """Engine cross-check: convergence, target, median band; sampled KS
+    test on the rotating subset."""
     n = conformance_population(protocol, settings)
-    medians = {}
     targeted = _overrides_target(protocol)
     engines = sorted(ENGINES)
     note = ""
@@ -428,9 +512,18 @@ def check_engines(protocol, spec, settings):
         # whole budget there without ever reporting convergence.
         engines = [name for name in engines if name != "sequential"]
         note = "; sequential skipped (no stabilization certificate)"
+    rotated = in_ks_rotation(spec, settings)
+    if rotated:
+        seeds = [
+            _ks_run_seed(settings.ks_seed, spec, i)
+            for i in range(settings.ks_samples)
+        ]
+    else:
+        seeds = list(range(settings.seeds))
+    samples: dict[str, list[int]] = {}
     for engine in engines:
         values = []
-        for seed in range(settings.seeds):
+        for seed in seeds:
             fresh = registry.instantiate(spec)
             sim = make_engine(engine, seed=seed)
             result = sim.run(
@@ -449,7 +542,11 @@ def check_engines(protocol, spec, settings):
                     f"n={n}, seed={seed}",
                 )
             values.append(result.last_change_step)
-        medians[engine] = statistics.median(values)
+        samples[engine] = values
+    medians = {
+        engine: statistics.median(values)
+        for engine, values in samples.items()
+    }
     low = max(min(medians.values()), 1.0)
     high = max(max(medians.values()), 1.0)
     if high > settings.band * low:
@@ -457,6 +554,27 @@ def check_engines(protocol, spec, settings):
             spec, "engines",
             f"median last-change steps disagree beyond {settings.band}x: "
             f"{medians}",
+        )
+    if rotated and len(engines) >= 2:
+        threshold = ks_threshold(
+            settings.ks_samples, settings.ks_samples, settings.ks_alpha
+        )
+        worst = 0.0
+        for left, right in combinations(engines, 2):
+            d = ks_statistic(samples[left], samples[right])
+            worst = max(worst, d)
+            if d > threshold:
+                return _fail(
+                    spec, "engines",
+                    f"KS test rejects engine agreement: "
+                    f"D({left}, {right}) = {d:.3f} > {threshold:.3f} "
+                    f"(alpha={settings.ks_alpha}, "
+                    f"{settings.ks_samples} samples, "
+                    f"ks_seed={settings.ks_seed})",
+                )
+        note += (
+            f"; KS over {settings.ks_samples} samples: "
+            f"max D={worst:.3f} <= {threshold:.3f}"
         )
     return _ok(spec, "engines", f"n={n}, medians={medians}{note}")
 

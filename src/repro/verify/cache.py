@@ -28,6 +28,38 @@ from repro.core.protocol import Protocol, TableProtocol
 VERIFY_CACHE_VERSION = 1
 
 
+def protocol_behavior_parts(protocol: Protocol) -> list[str]:
+    """The strings pinning a protocol's *transition behavior*: the rule
+    table (for :class:`TableProtocol`), the class source (code-defined
+    deltas, certificates, targets and hooks all live in the class body;
+    over-invalidating on unrelated edits to the same class is harmless),
+    the declared output states, and the fault-notification hooks over an
+    enumerable state set.
+
+    Shared by the verify verdict cache and the experiment service's
+    content-addressed result keys (:mod:`repro.service.keys`): editing
+    one protocol invalidates exactly that protocol's cached cells.
+    """
+    parts: list[str] = [
+        f"output={sorted(protocol.output_states, key=repr)!r}"
+        if protocol.output_states is not None else "output=all",
+    ]
+    if isinstance(protocol, TableProtocol):
+        parts.append(repr(sorted(protocol.rules().items(), key=repr)))
+    try:
+        parts.append(inspect.getsource(type(protocol)))
+    except (OSError, TypeError):
+        parts.append(type(protocol).__qualname__)
+    if protocol.states is not None:
+        for hook_name in ("on_neighbor_crash", "on_edge_loss"):
+            hook = getattr(protocol, hook_name)
+            parts.append(repr([
+                (repr(state), repr(hook(state)))
+                for state in sorted(protocol.states, key=repr)
+            ]))
+    return parts
+
+
 def protocol_digest(
     protocol: Protocol,
     n: int,
@@ -44,25 +76,8 @@ def protocol_digest(
         f"max_configs={max_configs}",
         f"claims={sorted(protocol.fault_claims)!r}",
         f"waivers={sorted(protocol.lint_waivers)!r}",
-        f"output={sorted(protocol.output_states, key=repr)!r}"
-        if protocol.output_states is not None else "output=all",
+        *protocol_behavior_parts(protocol),
     ]
-    if isinstance(protocol, TableProtocol):
-        parts.append(repr(sorted(protocol.rules().items(), key=repr)))
-    try:
-        # Code-defined deltas, certificates, targets and hooks all live
-        # in the class body; its source pins them (and over-invalidating
-        # on unrelated edits to the same class is harmless).
-        parts.append(inspect.getsource(type(protocol)))
-    except (OSError, TypeError):
-        parts.append(type(protocol).__qualname__)
-    if protocol.states is not None:
-        for hook_name in ("on_neighbor_crash", "on_edge_loss"):
-            hook = getattr(protocol, hook_name)
-            parts.append(repr([
-                (repr(state), repr(hook(state)))
-                for state in sorted(protocol.states, key=repr)
-            ]))
     try:
         parts.append(repr(protocol.initial_configuration(n).signature()))
     except ReproError:

@@ -275,3 +275,101 @@ class TestCheckersDetectViolations:
         report = format_outcomes(outcomes)
         assert "global-star" in report and "2 cells" in report
         assert set(CHECKS) >= {o.check for o in outcomes}
+
+
+class TestEngineKSRotation:
+    """The sampled KS escalation of the ``engines`` check."""
+
+    def test_ks_statistic_identical_and_disjoint_samples(self):
+        from repro.testing.conformance import ks_statistic
+
+        assert ks_statistic([1, 2, 3], [1, 2, 3]) == 0.0
+        assert ks_statistic([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        # Ties must not inflate the statistic (the classic merge-walk bug).
+        assert ks_statistic([1, 1, 2], [1, 2, 2]) == pytest.approx(1 / 3)
+
+    def test_ks_statistic_matches_scipy(self):
+        import random
+
+        scipy_stats = pytest.importorskip("scipy.stats")
+        from repro.testing.conformance import ks_statistic
+
+        rng = random.Random(42)
+        xs = [rng.gauss(0, 1) for _ in range(37)]
+        ys = [rng.gauss(0.5, 2) for _ in range(53)]
+        expected = scipy_stats.ks_2samp(xs, ys).statistic
+        assert ks_statistic(xs, ys) == pytest.approx(expected, abs=1e-12)
+
+    def test_ks_threshold_classical_values(self):
+        import math
+
+        from repro.testing.conformance import ks_threshold
+
+        # c(0.05) = 1.3581, the textbook constant.
+        assert ks_threshold(100, 100, 0.05) == pytest.approx(
+            1.3581 * math.sqrt(2 / 100), abs=1e-3
+        )
+        # Small equal samples: only gross disagreement can clear it.
+        assert ks_threshold(8, 8, 0.01) > 0.8
+
+    def test_rotation_is_deterministic_and_seed_dependent(self):
+        from repro.testing.conformance import (
+            ConformanceSettings,
+            in_ks_rotation,
+        )
+
+        specs = conformance_specs()
+        s0 = ConformanceSettings(ks_seed=0)
+        first = {spec: in_ks_rotation(spec, s0) for spec in specs}
+        assert first == {spec: in_ks_rotation(spec, s0) for spec in specs}
+        memberships = {
+            seed: frozenset(
+                spec
+                for spec in specs
+                if in_ks_rotation(spec, ConformanceSettings(ks_seed=seed))
+            )
+            for seed in range(6)
+        }
+        assert len(set(memberships.values())) > 1, (
+            "rotation never rotates: same subset for every seed"
+        )
+        covered = set().union(*memberships.values())
+        assert covered, "no protocol ever enters the rotation"
+
+    def test_rotated_protocol_runs_the_ks_comparison(self):
+        from repro.testing.conformance import ConformanceSettings
+
+        settings = ConformanceSettings(
+            ks_fraction=1.0, ks_samples=3, ks_seed=11
+        )
+        (outcome,) = run_conformance(
+            specs=["cycle-cover"], checks=["engines"], settings=settings
+        )
+        assert outcome.passed, outcome.detail
+        assert "KS over 3 samples" in outcome.detail
+
+    def test_out_of_rotation_keeps_the_median_band_only(self):
+        from repro.testing.conformance import ConformanceSettings
+
+        settings = ConformanceSettings(ks_fraction=0.0)
+        (outcome,) = run_conformance(
+            specs=["cycle-cover"], checks=["engines"], settings=settings
+        )
+        assert outcome.passed, outcome.detail
+        assert "KS" not in outcome.detail
+
+    def test_ks_seed_defaults_from_environment(self, monkeypatch):
+        from repro.testing.conformance import ConformanceSettings
+
+        monkeypatch.setenv("REPRO_CONFORMANCE_KS_SEED", "1234")
+        assert ConformanceSettings().ks_seed == 1234
+
+    def test_bad_ks_settings_rejected(self):
+        from repro.testing.conformance import ConformanceSettings
+
+        with pytest.raises(ConformanceError, match="ks_fraction"):
+            ConformanceSettings(ks_fraction=1.5)
+        with pytest.raises(ConformanceError, match="ks_samples"):
+            ConformanceSettings(ks_samples=1)
+        with pytest.raises(ConformanceError, match="ks_alpha"):
+            ConformanceSettings(ks_alpha=0.0)

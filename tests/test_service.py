@@ -1,0 +1,455 @@
+"""The experiment service: keys, store, cache plumbing, jobs, HTTP API.
+
+Pins the three contracts of the service layer:
+
+* **Key stability** — a trial's content address is a pure function of
+  its canonical spec payload and the protocol's behavior digest: stable
+  across processes and dict orderings, changed by exactly the things
+  that change the record (rule table, schema version, scenario).
+* **Cache transparency** — a warm sweep performs *zero* engine
+  executions (asserted via the in-process execution counter on the
+  serial executor) and returns a byte-identical result.
+* **Service round-trip** — submit → status → results through the
+  running HTTP service, under both serial and multi-worker execution,
+  with the second submission served 100% from the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+
+import pytest
+
+from repro.analysis import robustness as robustness_mod
+from repro.analysis import runner as runner_mod
+from repro.analysis.robustness import (
+    RobustnessSpec,
+    RobustnessTrial,
+    run_robustness,
+)
+from repro.analysis.runner import ExperimentSpec, Runner, TrialSpec
+from repro.core.protocol import TableProtocol
+from repro.core.scenario import Scenario
+from repro.service import keys as keys_mod
+from repro.service.jobs import JobService, kind_of
+from repro.service.keys import (
+    behavior_digest,
+    clear_digest_cache,
+    code_digest,
+    robustness_trial_key,
+    trial_key,
+)
+from repro.service.store import ResultStore, StoreError
+
+SPEC = ExperimentSpec(protocol="cycle-cover", sizes=(8, 12), trials=3)
+
+TRIAL = TrialSpec(protocol="cycle-cover", n=10, trial=2, seed=77)
+
+
+def _key_in_subprocess(_=None) -> str:
+    """Module-level so a spawn-context worker can pickle and run it."""
+    return trial_key(TRIAL)
+
+
+class TestKeys:
+    def test_key_is_stable_within_a_process(self):
+        assert trial_key(TRIAL) == trial_key(TRIAL)
+
+    def test_key_is_stable_across_processes(self):
+        # A spawn child re-imports everything under its own hash
+        # randomization; the key must come out identical.
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            child_key = pool.apply(_key_in_subprocess)
+        assert child_key == trial_key(TRIAL)
+
+    def test_key_ignores_payload_dict_ordering(self):
+        from repro.core.serialization import trial_spec_to_dict
+        from repro.service.keys import canonical_payload
+
+        payload = trial_spec_to_dict(TRIAL)
+        shuffled = dict(reversed(list(payload.items())))
+        assert canonical_payload(payload) == canonical_payload(shuffled)
+
+    def test_key_changes_with_every_spec_field(self):
+        from dataclasses import replace
+
+        base = trial_key(TRIAL)
+        variants = [
+            replace(TRIAL, n=11),
+            replace(TRIAL, trial=3),
+            replace(TRIAL, seed=78),
+            replace(TRIAL, engine="agitated"),
+            replace(TRIAL, measure="quiescence"),
+            replace(TRIAL, max_steps=10_000),
+            replace(TRIAL, scenario=Scenario(scheduler="round-robin")),
+        ]
+        keys = [trial_key(v) for v in variants]
+        assert base not in keys
+        assert len(set(keys)) == len(keys)
+
+    def test_key_changes_with_the_rule_table(self):
+        table = {("a", "a", 0): ("b", "b", 1)}
+        one = TableProtocol("probe", "a", dict(table))
+        table[("b", "b", 1)] = ("a", "a", 0)
+        two = TableProtocol("probe", "a", dict(table))
+        assert behavior_digest(one) != behavior_digest(two)
+
+    def test_key_changes_with_the_schema_version(self, monkeypatch):
+        before = trial_key(TRIAL)
+        monkeypatch.setattr(keys_mod, "SCHEMA_VERSION", 999)
+        clear_digest_cache()
+        try:
+            assert trial_key(TRIAL) != before
+        finally:
+            clear_digest_cache()
+
+    def test_sweep_and_robustness_key_spaces_never_collide(self):
+        # Same protocol/n/trial/seed on both sides; the payload kind
+        # tag must still separate them.
+        r = RobustnessTrial(
+            protocol="cycle-cover", n=10, load=0.0, trial=2, seed=77
+        )
+        assert robustness_trial_key(r) != trial_key(TRIAL)
+
+    def test_code_digest_is_memoized_per_canonical_spec(self):
+        clear_digest_cache()
+        first = code_digest("cycle-cover")
+        assert code_digest("cycle-cover") is first
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = runner_mod.run_trial(TRIAL)
+        key = trial_key(TRIAL)
+        assert store.get(key) is None  # miss first
+        store.put(key, record, "trial")
+        assert store.get(key) == record
+        stats = store.stats()
+        assert (stats.entries, stats.hits, stats.misses, stats.puts) == (
+            1, 1, 1, 1,
+        )
+        assert stats.hit_rate == 0.5
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(StoreError, match="malformed"):
+            store.path("../../etc/passwd")
+
+    def test_crashed_writer_leaves_only_a_tmp_that_gc_collects(
+        self, tmp_path
+    ):
+        store = ResultStore(tmp_path)
+        record = runner_mod.run_trial(TRIAL)
+        key = trial_key(TRIAL)
+        store.put(key, record, "trial")
+        # Simulate a writer that died between write_text and os.replace.
+        shard = store.path(key).parent
+        (shard / f"{key}.json.tmp").write_text('{"half": "written')
+        assert store.get(key) == record  # the real entry is untouched
+        gc = store.gc()
+        assert gc.removed_tmp == 1 and gc.kept == 1
+        assert not list(shard.glob("*.tmp"))
+
+    def test_gc_removes_corrupt_and_mis_keyed_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = runner_mod.run_trial(TRIAL)
+        key = trial_key(TRIAL)
+        store.put(key, record, "trial")
+        # Corrupt JSON under a plausible key.
+        bad_key = "ab" + "0" * 62
+        bad = store.path(bad_key)
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_text("not json")
+        # Valid envelope, filename that does not match the stored key.
+        wrong = store.path("cd" + "1" * 62)
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        wrong.write_text(store.path(key).read_text())
+        assert store.get(bad_key) is None  # corrupt reads are misses
+        gc = store.gc()
+        assert gc.removed_invalid == 2 and gc.kept == 1
+        assert store.get(key) == record
+        # Emptied shards are pruned.
+        assert not wrong.parent.exists()
+
+    def test_version_skewed_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = runner_mod.run_trial(TRIAL)
+        key = trial_key(TRIAL)
+        store.put(key, record, "trial")
+        payload = json.loads(store.path(key).read_text())
+        payload["version"] = 999
+        store.path(key).write_text(json.dumps(payload))
+        assert store.get(key) is None
+
+
+class TestCachedExecution:
+    def test_warm_sweep_runs_zero_engine_steps_and_is_byte_identical(
+        self, tmp_path
+    ):
+        store = ResultStore(tmp_path)
+        cold = Runner(jobs=1, cache=store).run(SPEC)
+        counter = runner_mod.EXECUTION_COUNTER.count
+        warm = Runner(jobs=1, cache=store).run(SPEC)
+        assert runner_mod.EXECUTION_COUNTER.count == counter, (
+            "warm sweep executed trials despite a fully warm store"
+        )
+        assert warm.to_json() == cold.to_json()
+
+    def test_partially_warm_store_executes_only_the_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        small = ExperimentSpec(protocol="cycle-cover", sizes=(8,), trials=3)
+        Runner(jobs=1, cache=store).run(small)
+        grown = ExperimentSpec(protocol="cycle-cover", sizes=(8,), trials=5)
+        counter = runner_mod.EXECUTION_COUNTER.count
+        result = Runner(jobs=1, cache=store).run(grown)
+        assert runner_mod.EXECUTION_COUNTER.count == counter + 2
+        assert len(result.records) == 5
+
+    def test_cache_composes_with_the_process_executor(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = Runner(jobs=1, cache=store).run(SPEC)
+        warm = Runner(jobs=2, cache=store).run(SPEC)
+        assert warm.to_json() == cold.to_json()
+        assert store.stats().hits >= len(SPEC.expand())
+
+    def test_run_robustness_cache_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = RobustnessSpec(
+            protocols=("cycle-cover",), loads=(0.0, 1.0), n=8, trials=2,
+            max_steps=200_000,
+        )
+        cold = run_robustness(spec, cache=store)
+        counter = robustness_mod.EXECUTION_COUNTER.count
+        warm = run_robustness(spec, cache=store)
+        assert robustness_mod.EXECUTION_COUNTER.count == counter
+        assert warm.to_json() == cold.to_json()
+
+    def test_run_trials_uses_the_cache_for_registry_specs(self, tmp_path):
+        from repro.analysis.experiments import run_trials
+
+        store = ResultStore(tmp_path)
+        cold = run_trials("cycle-cover", 8, 3, cache=store)
+        counter = runner_mod.EXECUTION_COUNTER.count
+        warm = run_trials("cycle-cover", 8, 3, cache=store)
+        assert runner_mod.EXECUTION_COUNTER.count == counter
+        assert warm == cold
+
+    def test_run_trials_skips_the_cache_for_anonymous_factories(
+        self, tmp_path
+    ):
+        from repro.analysis.experiments import run_trials
+
+        store = ResultStore(tmp_path)
+        factory = lambda: TableProtocol(  # noqa: E731
+            "anon", "a", {("a", "a", 0): ("b", "b", 1)}
+        )
+        run_trials(factory, 6, 2, cache=store, max_steps=100_000)
+        assert store.stats().puts == 0  # no stable address, no cache
+
+
+class TestJobService:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_kind_of_rejects_foreign_specs(self):
+        from repro.service.jobs import JobError
+
+        assert kind_of(SPEC) == "sweep"
+        with pytest.raises(JobError, match="ExperimentSpec"):
+            kind_of(object())
+
+    def test_submit_wait_result_matches_direct_execution(self, tmp_path):
+        async def scenario():
+            service = JobService(store=ResultStore(tmp_path))
+            job = await service.submit(SPEC)
+            await service.wait(job.id)
+            return job
+
+        job = self.run(scenario())
+        assert job.state == "done" and not job.partial
+        direct = Runner(jobs=1).run(SPEC)
+        assert [r.deterministic() for r in job.result().records] == [
+            r.deterministic() for r in direct.records
+        ]
+
+    def test_resubmission_is_fully_cached_and_byte_identical(self, tmp_path):
+        async def scenario():
+            service = JobService(store=ResultStore(tmp_path))
+            first = await service.submit(SPEC)
+            await service.wait(first.id)
+            second = await service.submit(SPEC)
+            await service.wait(second.id)
+            return first, second
+
+        first, second = self.run(scenario())
+        assert first.cached == 0
+        assert second.cached == second.total == len(SPEC.expand())
+        assert second.result().to_json() == first.result().to_json()
+
+    def test_cancel_before_execution_cancels_cleanly(self, tmp_path):
+        async def scenario():
+            service = JobService(store=ResultStore(tmp_path))
+            job = await service.submit(SPEC)
+            await service.cancel(job.id)
+            await service.wait(job.id)
+            return job
+
+        job = self.run(scenario())
+        assert job.state == "cancelled"
+        assert job.finished_at is not None
+
+    def test_status_dict_round_trips_the_spec(self, tmp_path):
+        async def scenario():
+            service = JobService(store=ResultStore(tmp_path))
+            job = await service.submit(SPEC)
+            await service.wait(job.id)
+            return job.status_dict()
+
+        status = self.run(scenario())
+        from repro.core.serialization import experiment_spec_from_dict
+
+        assert experiment_spec_from_dict(status["spec"]) == SPEC
+        assert status["state"] == "done"
+        assert status["completed"] == status["total"]
+
+    def test_failed_job_reports_the_error_instead_of_raising(self):
+        bad = ExperimentSpec(
+            protocol="simple-global-line", sizes=(8,), trials=1,
+            engine="sequential", max_steps=10,
+        )
+
+        async def scenario():
+            service = JobService()
+            job = await service.submit(bad)
+            await service.wait(job.id)
+            return job
+
+        job = self.run(scenario())
+        assert job.state == "failed"
+        assert job.error
+
+
+@pytest.fixture(scope="module")
+def live_service():
+    """One HTTP service (ephemeral port, workers=1, fresh store) shared
+    by the endpoint tests."""
+    import tempfile
+
+    from repro.service.api import ExperimentService
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = ExperimentService(store=ResultStore(tmp), port=0)
+        service.start()
+        try:
+            yield service
+        finally:
+            service.stop()
+
+
+class TestHttpService:
+    def client(self, service):
+        from repro.service.client import ServiceClient
+
+        return ServiceClient(service.url)
+
+    def test_health(self, live_service):
+        payload = self.client(live_service).health()
+        assert payload["ok"] is True
+        assert payload["workers"] == 1
+        assert payload["store"]["root"]
+
+    def test_submit_status_results_round_trip_and_warm_resubmit(
+        self, live_service
+    ):
+        client = self.client(live_service)
+        job = client.submit(SPEC.to_dict())
+        status = client.wait(job["id"], poll=0.05, timeout=120)
+        assert status["state"] == "done"
+        first = client.result(job["id"])
+        assert first["partial"] is False
+        job2 = client.submit(SPEC.to_dict())
+        status2 = client.wait(job2["id"], poll=0.05, timeout=120)
+        assert status2["cached"] == status2["total"]
+        second = client.result(job2["id"])
+        assert json.dumps(first["result"], sort_keys=True) == json.dumps(
+            second["result"], sort_keys=True
+        )
+        from repro.analysis.runner import SweepResult
+
+        rebuilt = SweepResult.from_dict(second["result"])
+        assert rebuilt.spec == SPEC
+
+    def test_multi_worker_service_agrees_with_serial(self, tmp_path):
+        from repro.service.api import ExperimentService
+
+        serial = json.dumps(
+            Runner(jobs=1).run(SPEC).to_dict()["records"], sort_keys=True
+        )
+        service = ExperimentService(
+            store=ResultStore(tmp_path), workers=2, port=0
+        )
+        service.start()
+        try:
+            client = self.client(service)
+            job = client.submit(SPEC.to_dict())
+            client.wait(job["id"], poll=0.05, timeout=180)
+            parallel = client.result(job["id"])["result"]["records"]
+        finally:
+            service.stop()
+        # Workers re-time each trial, so compare deterministically.
+        stripped = [
+            {**r, "elapsed_seconds": 0.0} for r in json.loads(serial)
+        ]
+        parallel = [{**r, "elapsed_seconds": 0.0} for r in parallel]
+        assert parallel == stripped
+
+    def test_unknown_job_is_a_clean_404(self, live_service):
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError, match="unknown job"):
+            self.client(live_service).status("job-999")
+
+    def test_bad_spec_is_a_clean_400(self, live_service):
+        from repro.service.client import ServiceError
+
+        with pytest.raises(ServiceError):
+            self.client(live_service).submit({"nonsense": True})
+
+    def test_store_stats_and_gc_endpoints(self, live_service):
+        client = self.client(live_service)
+        stats = client.store_stats()
+        assert set(stats) >= {"root", "entries", "hits", "misses"}
+        gc = client.store_gc()
+        assert gc["removed_tmp"] == 0
+
+
+class TestPoolMap:
+    def test_serial_path_runs_the_initializer_in_process(self):
+        calls = []
+        out = runner_mod.pool_map(
+            abs, [-1, 2, -3], 1,
+            initializer=lambda: calls.append(True),
+        )
+        assert out == [1, 2, 3]
+        assert calls == [True]
+
+    def test_serial_and_process_paths_agree(self):
+        trials = SPEC.expand()[:3]
+        serial = runner_mod.pool_map(runner_mod.run_trial, trials, 1)
+        parallel = runner_mod.pool_map(runner_mod.run_trial, trials, 2)
+        assert [r.deterministic() for r in serial] == [
+            r.deterministic() for r in parallel
+        ]
+
+    def test_executors_route_through_pool_map(self):
+        # The dedupe satellite: both named executors are thin wrappers
+        # over the one pool entry point.
+        import inspect
+
+        for executor in ("serial", "process"):
+            source = inspect.getsource(runner_mod.EXECUTORS[executor])
+            assert "pool_map" in source
