@@ -1,0 +1,74 @@
+"""Count-engine scaling smoke — frontier rows with an acceptance gate.
+
+Runs :func:`repro.analysis.bench.bench_frontier` on a CI-sized slice of
+the Figure-2 line frontier (count engine to n=10^5, indexed engine to
+n=10^3 — the indexed n=10^4 anchor costs ~half an hour and is paid only
+by the full local run), merges the rows into ``BENCH_engines.json``
+under ``frontier_count_scaling``, and asserts:
+
+* every count-engine cell converged (the tau-leap regime must actually
+  finish the line construction at scale, not time out);
+* the count engine clears n=10^4 in seconds, not minutes;
+* when the record's largest common size is >= 10^4 (the full local
+  frontier), the count-vs-indexed speedup there is >= 10x.
+
+Not collected by the default ``pytest`` run; invoke explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_frontier.py -s
+
+Pass ``REPRO_BENCH_FULL_FRONTIER=1`` to run the complete sweep
+(count to n=10^6 plus the indexed n=10^4 anchor) as committed in
+``BENCH_engines.json``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.bench import bench_frontier, format_bench_frontier
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engines.json"
+
+#: The acceptance bar at the n=10^4 anchor of the full frontier.
+MIN_SPEEDUP = 10.0
+
+#: Wall-clock smoke bound for the count engine at n=10^4 (measured
+#: ~0.3 s; the bound is loose to absorb slow CI hosts).
+MAX_SECONDS_AT_10K = 60.0
+
+SMOKE_COUNT_SIZES = (100, 1_000, 10_000, 100_000)
+SMOKE_INDEXED_SIZES = (100, 1_000)
+
+
+def test_perf_frontier():
+    full = os.environ.get("REPRO_BENCH_FULL_FRONTIER") == "1"
+    kwargs = (
+        {}
+        if full
+        else {
+            "count_sizes": SMOKE_COUNT_SIZES,
+            "indexed_sizes": SMOKE_INDEXED_SIZES,
+        }
+    )
+    record = bench_frontier(merge_into=str(OUT_PATH), **kwargs)
+    print("\n" + format_bench_frontier(record))
+
+    count_cells = {
+        cell["n"]: cell
+        for cell in record["cells"]
+        if cell["engine"] == "count"
+    }
+    assert all(cell["converged"] for cell in count_cells.values())
+    assert count_cells[10_000]["mean_seconds"] < MAX_SECONDS_AT_10K
+
+    headline = record["speedup_count_vs_indexed"]
+    if headline["n"] >= 10_000:
+        assert headline["speedup"] >= MIN_SPEEDUP, (
+            f"count engine only {headline['speedup']:.1f}x faster than "
+            f"indexed at n={headline['n']} (need >= {MIN_SPEEDUP}x)"
+        )
+
+
+if __name__ == "__main__":
+    test_perf_frontier()

@@ -13,6 +13,11 @@ Two benchmark entry points:
   identical, and emits ``BENCH_runner.json`` with the parallel speedup
   and the host's core count.  Used by ``benchmarks/perf_runner.py`` and
   ``repro-net bench --runner``.
+* :func:`bench_frontier` — the count engine's n-scaling frontier on the
+  Figure 2 line (n = 10^2 .. 10^6) against the indexed engine's
+  practical range, merged into ``BENCH_engines.json`` under the
+  ``frontier_count_scaling`` key.  Used by
+  ``benchmarks/perf_frontier.py``.
 
 Both are driven by the declarative runner layer, so every timing is a
 plain :class:`~repro.analysis.runner.TrialRecord` aggregate.
@@ -198,6 +203,112 @@ def format_bench(record: dict) -> str:
     lines.append(
         f"\nindexed vs agitated @ {headline['workload']} "
         f"n={headline['n']}: {headline['speedup']:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# n-scaling frontier (count engine vs indexed engine)
+# ----------------------------------------------------------------------
+
+#: Figure-2 line sizes for the count engine's scaling frontier.  The
+#: count engine is O(states) in memory and tau-leaps above its
+#: threshold, so the sweep extends four decades past the indexed
+#: engine's practical range.
+FRONTIER_COUNT_SIZES: tuple[int, ...] = (100, 1_000, 10_000, 100_000, 1_000_000)
+
+#: Indexed-engine sizes for the same workload.  n=10^4 is roughly half
+#: an hour of wall clock (the per-step loop walks ~10^10 scheduler
+#: steps); the full-frontier run pays it once to anchor the speedup.
+FRONTIER_INDEXED_SIZES: tuple[int, ...] = (100, 1_000, 10_000)
+
+
+def bench_frontier(
+    *,
+    count_sizes: tuple[int, ...] = FRONTIER_COUNT_SIZES,
+    indexed_sizes: tuple[int, ...] = FRONTIER_INDEXED_SIZES,
+    trials: int = 1,
+    base_seed: int = 7,
+    merge_into: str | None = None,
+) -> dict:
+    """Time the count and indexed engines over the Figure-2 line at
+    n-scaling sizes and return the frontier record.
+
+    The headline is ``speedup_count_vs_indexed`` at the largest size
+    both engines ran.  Note the comparison is only meaningful above the
+    count engine's leap threshold — below it the count engine *is* the
+    indexed engine, so the ratio sits near 1 by construction.
+
+    ``merge_into`` names a JSON file (``BENCH_engines.json``) to merge
+    the record into under the ``frontier_count_scaling`` key, preserving
+    every other key — :func:`bench_engines` owns the rest of that file.
+    """
+    cells: list[BenchCell] = []
+    for n in count_sizes:
+        cells.append(
+            _time_engine(
+                "frontier-line", "simple-global-line", "count", n, trials,
+                base_seed=base_seed,
+            )
+        )
+    for n in indexed_sizes:
+        cells.append(
+            _time_engine(
+                "frontier-line", "simple-global-line", "indexed", n, trials,
+                base_seed=base_seed,
+            )
+        )
+    common = max(set(count_sizes) & set(indexed_sizes))
+    by_engine = {
+        (cell.engine, cell.n): cell for cell in cells
+    }
+    speedup = (
+        by_engine[("indexed", common)].mean_seconds
+        / max(by_engine[("count", common)].mean_seconds, 1e-9)
+    )
+    record = {
+        "schema": "repro-bench-frontier/1",
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "trials": trials,
+        "count_sizes": list(count_sizes),
+        "indexed_sizes": list(indexed_sizes),
+        "cells": [asdict(cell) for cell in cells],
+        "speedup_count_vs_indexed": {
+            "workload": "frontier-line",
+            "n": common,
+            "speedup": speedup,
+        },
+    }
+    if merge_into is not None:
+        merged: dict = {}
+        if os.path.exists(merge_into):
+            with open(merge_into, "r", encoding="utf-8") as handle:
+                merged = json.load(handle)
+        merged["frontier_count_scaling"] = record
+        with open(merge_into, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    return record
+
+
+def format_bench_frontier(record: dict) -> str:
+    """Human-readable table of a :func:`bench_frontier` record."""
+    lines = [
+        f"{'engine':<8} {'n':>9} {'mean s':>10} {'steps':>18} "
+        f"{'effective':>12} {'ok':>3}"
+    ]
+    for cell in record["cells"]:
+        lines.append(
+            f"{cell['engine']:<8} {cell['n']:>9} "
+            f"{cell['mean_seconds']:>10.2f} {cell['mean_steps']:>18.3e} "
+            f"{cell['mean_effective']:>12.3e} "
+            f"{'yes' if cell['converged'] else 'NO':>3}"
+        )
+    headline = record["speedup_count_vs_indexed"]
+    lines.append(
+        f"\ncount vs indexed @ n={headline['n']}: "
+        f"{headline['speedup']:.1f}x"
     )
     return "\n".join(lines)
 

@@ -158,7 +158,10 @@ class ExperimentSpec:
     that never mention it produce bit-identical records.  A scenario the
     requested ``engine`` cannot run routes every trial to the
     ``sequential`` reference engine, which needs a finite ``max_steps``
-    budget — validated here, at spec construction.
+    budget — validated here, at spec construction.  (The
+    anonymity-native ``count`` engine declines identity-addressed
+    scenarios this way; on census-safe scenarios it makes n = 10^5..10^6
+    sweeps practical — see ``docs/experiments.md``.)
 
     Per-trial seeds are derived from ``(base_seed, protocol, n, trial)``
     only: the same trial under different scenarios sees the same

@@ -49,12 +49,18 @@ robustness grid) against each other::
     repro-net bench --out BENCH_engines.json
     repro-net bench --runner --out BENCH_runner.json
     repro-net bench --robustness --out BENCH_robustness.json
+    repro-net bench --frontier
 
 List everything the registries know (``describe`` accepts protocol,
-scheduler, fault-model and initial-configuration specs alike)::
+scheduler, fault-model and initial-configuration specs alike;
+``--engines`` prints the engines' per-scenario support matrix — the
+anonymity-native ``count`` engine declines identity-addressed scenarios
+and the scenario layer falls back to the sequential reference)::
 
     repro-net list
     repro-net list --schedulers --faults --inits
+    repro-net list --engines
+    repro-net run simple-global-line -n 100000 --engine count
     repro-net describe k-regular-connected
     repro-net describe line-tm:program=parity
     repro-net describe crash:count=2,at=100
@@ -380,6 +386,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "worker-count scaling",
     )
     bench_p.add_argument(
+        "--frontier", action="store_true",
+        help="run the count engine's n-scaling frontier (Figure 2 line, "
+        "n=10^2..10^6) against the indexed engine and merge it into "
+        "BENCH_engines.json",
+    )
+    bench_p.add_argument(
         "--line-sizes",
         default=",".join(map(str, LINE_SIZES)),
         help="comma-separated Figure 2 line sweep sizes",
@@ -410,6 +422,11 @@ def _build_parser() -> argparse.ArgumentParser:
     list_p.add_argument(
         "--inits", action="store_true",
         help="list the initial-configuration registry instead",
+    )
+    list_p.add_argument(
+        "--engines", action="store_true",
+        help="list the simulation engines with their per-scenario "
+        "support (probed via each engine's supports())",
     )
 
     conform_p = sub.add_parser(
@@ -824,6 +841,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             jobs=args.jobs, base_seed=args.seed, out=out,
         )
         print(format_bench_runner(record))
+    elif args.frontier:
+        from repro.analysis.bench import bench_frontier, format_bench_frontier
+
+        out = "BENCH_engines.json" if args.out is None else args.out
+        out = None if out == "-" else out
+        record = bench_frontier(
+            trials=1 if args.trials is None else args.trials,
+            base_seed=args.seed, merge_into=out,
+        )
+        print(format_bench_frontier(record))
     else:
         out = "BENCH_engines.json" if args.out is None else args.out
         out = None if out == "-" else out
@@ -851,14 +878,48 @@ def _print_registry_table(entries, title: str | None = None) -> None:
         print(line)
 
 
+#: Scenario axes probed by ``list --engines``, each represented by one
+#: canonical scenario (support is declared per axis, not per spec).
+ENGINE_SUPPORT_AXES: tuple[tuple[str, Scenario], ...] = (
+    ("uniform", Scenario()),
+    ("schedulers", Scenario(scheduler="round-robin")),
+    ("crash/arrive/churn", Scenario(faults=("crash:count=1,at=40",))),
+    ("edge-rate/drop", Scenario(faults=("edge-rate:rate=0.0001",))),
+    ("cut/byzantine", Scenario(faults=("cut:edges=0-1,at=10",))),
+    ("doped/graph init", Scenario(init="doped:state=l,count=2")),
+)
+
+
+def _print_engine_table() -> None:
+    print("engines (scenario support; '-' falls back to 'sequential'):")
+    names = sorted(ENGINES)
+    width = max(len(name) for name in names)
+    header = "  ".join(label for label, _ in ENGINE_SUPPORT_AXES)
+    print(f"  {'':<{width}}  {header}")
+    for name in names:
+        row = "  ".join(
+            f"{'yes' if ENGINES[name].supports(scenario) else '-':<{len(label)}}"
+            for label, scenario in ENGINE_SUPPORT_AXES
+        )
+        print(f"  {name:<{width}}  {row}")
+    print(
+        "\nthe 'count' engine is anonymity-native: it runs a (state -> "
+        "count) census\nand declines scenarios that address node "
+        "identities; 'repro-net run --engine'\nfalls back to the "
+        "sequential reference for unsupported scenarios"
+    )
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
-    extra = args.schedulers or args.faults or args.inits
+    extra = args.schedulers or args.faults or args.inits or args.engines
     if args.schedulers:
         _print_registry_table(SCHEDULERS.available(), "schedulers")
     if args.faults:
         _print_registry_table(FAULTS.available(), "fault models")
     if args.inits:
         _print_registry_table(INITS.available(), "initial configurations")
+    if args.engines:
+        _print_engine_table()
     if not extra:
         _print_registry_table(registry.available())
         # The PR-4-era registry-coverage gap is closed: the Theorem-14

@@ -9,6 +9,8 @@ typically sparse.
 
 from __future__ import annotations
 
+import itertools
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 import networkx as nx
@@ -16,6 +18,67 @@ import networkx as nx
 from repro.core.errors import SimulationError
 from repro.core.indexing import IndexedSet
 from repro.core.protocol import State
+
+
+def census_pair_key(a: State, b: State) -> tuple[State, State]:
+    """Canonical unordered key for a state pair (sorted by ``repr``, the
+    same total order :meth:`~repro.core.protocol.Protocol.compile` uses to
+    intern states)."""
+    return (a, b) if repr(a) <= repr(b) else (b, a)
+
+
+@dataclass(frozen=True, eq=True)
+class Census:
+    """Anonymous view of a configuration: the state histogram plus the
+    per-class active-edge histogram.
+
+    This is the representation the paper itself reasons over — every
+    protocol in the source paper is anonymous, so the dynamics are a
+    function of ``(state -> count)`` and, for edge-aware rules, of how
+    many active edges join each unordered state pair.  Memory is
+    O(present states + present edge classes), independent of ``n``.
+
+    ``counts`` maps each present state to its node count; ``edges`` maps
+    each unordered state pair (keyed via :func:`census_pair_key`) to its
+    active-edge count.  Zero entries are omitted, so two censuses taken
+    from configurations with the same anonymous content compare equal.
+    """
+
+    counts: dict[State, int] = field(default_factory=dict)
+    edges: dict[tuple[State, State], int] = field(default_factory=dict)
+
+    @property
+    def population(self) -> int:
+        """Total number of nodes (including any ``DEAD`` placeholder)."""
+        return sum(self.counts.values())
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of active edges."""
+        return sum(self.edges.values())
+
+    def class_pairs(self, a: State, b: State) -> int:
+        """Number of node pairs in the unordered class ``{a, b}``."""
+        na = self.counts.get(a, 0)
+        if a == b:
+            return na * (na - 1) // 2
+        return na * self.counts.get(b, 0)
+
+    def validate(self) -> None:
+        """Raise :class:`SimulationError` if the census is not realizable
+        as a simple graph (negative counts, edges on absent states, or
+        more class edges than class pairs)."""
+        for s, c in self.counts.items():
+            if c < 0:
+                raise SimulationError(f"negative count for state {s!r}: {c}")
+        for (a, b), e in self.edges.items():
+            if e < 0:
+                raise SimulationError(f"negative edge count for {(a, b)!r}: {e}")
+            if e > self.class_pairs(a, b):
+                raise SimulationError(
+                    f"edge class {(a, b)!r} has {e} edges but only "
+                    f"{self.class_pairs(a, b)} pairs"
+                )
 
 
 class Configuration:
@@ -73,6 +136,57 @@ class Configuration:
         if n < 1:
             raise SimulationError(f"population size must be >= 1, got {n}")
         return cls([state] * n)
+
+    @classmethod
+    def from_census(cls, census: Census) -> "Configuration":
+        """Materialize a canonical configuration realizing ``census``.
+
+        Node ids are assigned in contiguous blocks, one block per state in
+        ``repr`` order; each edge class activates its edges over the first
+        pairs of the class in lexicographic order.  The reconstruction is
+        deterministic and census-faithful — ``from_census(c).census() == c``
+        for any realizable census — but deliberately *not*
+        geometry-faithful: anonymity means the census does not determine
+        which concrete graph carried it.
+        """
+        census.validate()
+        n = census.population
+        if n < 1:
+            raise SimulationError("census population must be >= 1")
+        ordered = sorted(census.counts, key=repr)
+        offsets: dict[State, int] = {}
+        states: list[State] = []
+        for s in ordered:
+            offsets[s] = len(states)
+            states.extend([s] * census.counts[s])
+        cfg = cls(states)
+        for a, b in sorted(census.edges, key=repr):
+            count = census.edges[(a, b)]
+            oa, ob = offsets[a], offsets[b]
+            na, nb = census.counts[a], census.counts[b]
+            if a == b:
+                pairs: Iterator[tuple[int, int]] = itertools.combinations(
+                    range(oa, oa + na), 2
+                )
+            else:
+                pairs = (
+                    (u, v)
+                    for u in range(oa, oa + na)
+                    for v in range(ob, ob + nb)
+                )
+            for u, v in itertools.islice(pairs, count):
+                cfg.set_edge(u, v, 1)
+        return cfg
+
+    def census(self) -> Census:
+        """The anonymous :class:`Census` of this configuration: state
+        histogram plus per-class active-edge histogram."""
+        counts = {s: len(bucket) for s, bucket in self._by_state.items()}
+        edges: dict[tuple[State, State], int] = {}
+        for u, v in self.active_edges():
+            key = census_pair_key(self._states[u], self._states[v])
+            edges[key] = edges.get(key, 0) + 1
+        return Census(counts, edges)
 
     def copy(self) -> "Configuration":
         clone = Configuration.__new__(Configuration)

@@ -1,0 +1,904 @@
+"""Count-based census engine with tau-leaped batched stepping.
+
+Every protocol in the source paper is *anonymous* — node identity never
+enters a rule — so the paper's own analysis reasons over the state
+census, not per-node states.  :class:`CountSimulator` exploits this: it
+represents a run as ``(state -> count)`` plus the per-class active-edge
+census (O(present states) hot-path memory, not O(n)), and between
+structural/fault events it draws multinomial interaction *counts* per
+pair class in one batch (tau-leaping, Gillespie-style) instead of one
+Python iteration per effective interaction.
+
+Two regimes, one engine
+-----------------------
+
+* **Exact regime** (``n < leap_threshold``, or whenever the run needs
+  per-node structure: traces, identity-based faults such as ``cut`` /
+  ``byzantine``, ``max_effective_steps`` budgets, or a stabilization
+  certificate that inspects graph geometry): the engine *is* the
+  state-indexed engine — :class:`CountSimulator` subclasses
+  :class:`~repro.core.simulator.IndexedSimulator` and delegates, so the
+  distribution (and the rng stream) is identical by construction.  This
+  is the regime the KS/CI-band equivalence harness gates.
+
+* **Leap regime** (large ``n``): census-only stepping.  Each leap picks
+  a firing budget ``K`` by the standard tau-leap drift bound (expected
+  relative change of any state count at most ``LEAP_EPSILON``), draws
+  per-class firing counts ``Multinomial(K, w/W)``, advances the
+  scheduler clock by ``K`` plus a negative-binomial count of
+  ineffective picks (the batched form of the indexed engine's
+  ``Geometric(k/m)`` skip), and applies the aggregate census deltas.
+  The active-edge structure is closed with an *annealed*
+  (configuration-model) approximation: the engine tracks the exact
+  per-state count of active edge *endpoints* — conserved bookkeeping
+  under state changes, activations, deactivations, and faults — and
+  derives the per-class edge census each leap by random endpoint
+  matching (``e(a,b) ~ E_a E_b / 2E``).  The census cannot know *which*
+  concrete edges a changed node carried; deriving compositions from
+  endpoint masses (instead of integrating per-class flows) makes the
+  closure drift-free: a state that holds active endpoints always
+  retains its matching share of every interaction channel.  The leap
+  regime is therefore an intentionally *approximate* sampler of the
+  interaction process — exact for protocols whose dynamics are
+  census-Markov (no active edges, e.g. epidemics), and an annealed
+  mean-field approximation of the interaction geometry otherwise —
+  which is what tau-leaping means.  Leaps shrink to single firings near
+  fault horizons and the engine polls the stabilization certificate
+  every leap, so runs stop on the same certificate as the exact
+  engines.
+
+Faults are applied census-wise in the leap regime: ``crash`` / ``churn``
+victims are drawn by multivariate-hypergeometric state selection
+(:func:`repro.core.faults.census_sample_states`), ``arrive`` / ``revive``
+add initial-state counts, and crashed nodes shed their incident-edge
+endpoints by the annealed share (surviving far endpoints get the
+protocol's crash notification).  Identity-based faults (``cut``,
+``byzantine``) and scripted initial configurations (``doped:``,
+``graph:``) are declined by :meth:`CountSimulator.supports`, so scenario
+routing falls back to an identity-aware engine.
+
+The batched draws are numpy-backed when numpy is importable and fall
+back to a seeded pure-python sampler (exact small-count draws, gaussian
+tail approximations at batch scale) otherwise; both are deterministic
+functions of the engine seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.configuration import Census, Configuration, census_pair_key
+from repro.core.errors import ConvergenceError, SimulationError
+from repro.core.protocol import Protocol
+from repro.core.faults import (
+    DEAD,
+    ArrivalFaults,
+    ChurnFaults,
+    CrashFaults,
+    RecoverFaults,
+    census_sample_states,
+    compile_fault_plan,
+)
+from repro.core.simulator import ENGINES, IndexedSimulator, RunResult, _join_state
+
+#: Fault spec names whose semantics name concrete node/edge identities;
+#: anonymity-aware routing declines them (see :meth:`CountSimulator.supports`).
+IDENTITY_FAULTS = frozenset({"cut", "byzantine"})
+
+#: Initial-configuration spec names that script concrete node ids.
+IDENTITY_INITS = frozenset({"doped", "graph"})
+
+#: Fault model classes whose actions are census-representable; any other
+#: model routes the whole run through the exact indexed path.
+_LEAPABLE_FAULTS = (CrashFaults, ArrivalFaults, RecoverFaults, ChurnFaults)
+
+
+class _PythonLeapRng:
+    """Seeded pure-python batch sampler: exact for small counts, gaussian
+    approximations at batch scale (the leap regime is approximate by
+    construction, so a matched-moments tail is acceptable)."""
+
+    __slots__ = ("_rng",)
+
+    _EXACT_CAP = 64
+
+    def __init__(self, seed: int | None) -> None:
+        self._rng = random.Random(seed)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def randrange(self, n: int) -> int:
+        return self._rng.randrange(n)
+
+    def binomial(self, n: int, p: float) -> int:
+        if n <= 0 or p <= 0.0:
+            return 0
+        if p >= 1.0:
+            return n
+        if n <= self._EXACT_CAP:
+            r = self._rng.random
+            return sum(1 for _ in range(n) if r() < p)
+        mean = n * p
+        draw = round(self._rng.gauss(mean, math.sqrt(mean * (1.0 - p))))
+        return min(n, max(0, draw))
+
+    def multinomial(self, k: int, weights: list[float]) -> list[int]:
+        # Conditional binomial splitting: exact given exact binomials.
+        out: list[int] = []
+        remaining = k
+        wsum = float(sum(weights))
+        for w in weights[:-1]:
+            if remaining <= 0 or wsum <= 0.0:
+                out.append(0)
+                continue
+            drawn = self.binomial(remaining, w / wsum)
+            out.append(drawn)
+            remaining -= drawn
+            wsum -= w
+        out.append(max(0, remaining))
+        return out
+
+    def geometric_failures(self, k: int, p: float) -> int:
+        """Total ineffective picks before ``k`` effective ones (negative
+        binomial with success probability ``p``)."""
+        if p >= 1.0:
+            return 0
+        if k <= 32:
+            log_q = math.log(1.0 - p)
+            r = self._rng.random
+            return sum(int(math.log(1.0 - r()) / log_q) for _ in range(k))
+        mean = k * (1.0 - p) / p
+        draw = round(self._rng.gauss(mean, math.sqrt(mean / p)))
+        return max(0, draw)
+
+
+class _NumpyLeapRng:
+    """numpy-backed batch sampler (one vectorized draw per leap)."""
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, seed: int | None, np_random) -> None:
+        self._rng = np_random.default_rng(seed)
+
+    def random(self) -> float:
+        return float(self._rng.random())
+
+    def randrange(self, n: int) -> int:
+        return int(self._rng.integers(n))
+
+    def binomial(self, n: int, p: float) -> int:
+        if n <= 0 or p <= 0.0:
+            return 0
+        if p >= 1.0:
+            return n
+        return int(self._rng.binomial(n, p))
+
+    def multinomial(self, k: int, weights: list[float]) -> list[int]:
+        total = float(sum(weights))
+        return [int(x) for x in self._rng.multinomial(k, [w / total for w in weights])]
+
+    def geometric_failures(self, k: int, p: float) -> int:
+        if p >= 1.0:
+            return 0
+        return int(self._rng.negative_binomial(k, p))
+
+
+def make_leap_rng(seed: int | None):
+    """The batched-draw sampler: numpy-backed when numpy is importable,
+    seeded pure-python otherwise.  Lazy so environments without numpy
+    (e.g. the service CI job) never import it."""
+    try:
+        from numpy import random as np_random
+    except ImportError:
+        return _PythonLeapRng(seed)
+    return _NumpyLeapRng(seed, np_random)
+
+
+def derive_edge_census(counts, ends, total_edges):
+    """Integer per-class edge census implied by the annealed closure:
+    expected random-matching counts ``E_a E_b / 2E`` (``E_a^2 / 4E`` on
+    the diagonal), capped by per-class pair capacity, rounded by largest
+    remainder so the total stays as close to ``total_edges`` as the caps
+    allow.  Keys are ``(a, b)`` with ``a <= b`` in the ordering of the
+    supplied state keys."""
+    if total_edges <= 0:
+        return {}
+    present = sorted(
+        (s for s, c in counts.items() if c > 0 and ends.get(s, 0) > 0),
+        key=repr,
+    )
+    rows = []  # [key, floor, fraction, cap]
+    floored = 0
+    for i, a in enumerate(present):
+        for b in present[i:]:
+            na = counts[a]
+            cap = na * (na - 1) // 2 if a == b else na * counts[b]
+            if cap <= 0:
+                continue
+            if a == b:
+                expected = ends[a] * ends[a] / (4.0 * total_edges)
+            else:
+                expected = ends[a] * ends[b] / (2.0 * total_edges)
+            expected = min(expected, float(cap))
+            lo = int(expected)
+            rows.append([(a, b), lo, expected - lo, cap])
+            floored += lo
+    remainder = min(total_edges - floored, sum(r[3] - r[1] for r in rows))
+    if remainder > 0:
+        for row in sorted(rows, key=lambda r: r[2], reverse=True):
+            if remainder <= 0:
+                break
+            if row[1] < row[3]:
+                row[1] += 1
+                remainder -= 1
+    return {key: lo for key, lo, _frac, _cap in rows if lo > 0}
+
+
+class _CensusConfigView:
+    """Read-only ``Configuration`` facade over a census — just enough
+    surface for count-based stabilization certificates (state counts and
+    the active-edge total).  Certificates that inspect per-node structure
+    raise ``AttributeError``, which routes the run to the exact engine."""
+
+    __slots__ = ("_counts", "_n_edges")
+
+    def __init__(self, counts: dict, n_edges: int) -> None:
+        self._counts = counts
+        self._n_edges = n_edges
+
+    @property
+    def n(self) -> int:
+        return sum(self._counts.values())
+
+    def state_counts(self) -> dict:
+        return dict(self._counts)
+
+    def count_in_state(self, state) -> int:
+        return self._counts.get(state, 0)
+
+    def states(self) -> list:
+        out: list = []
+        for s, c in self._counts.items():
+            out.extend([s] * c)
+        return out
+
+    @property
+    def n_active_edges(self) -> int:
+        return self._n_edges
+
+
+class _PlanFacade:
+    """Synthetic id space for fault-plan queries in the leap regime:
+    ids ``0..alive-1`` are alive, ``alive..alive+dead-1`` are DEAD.  The
+    census-safe plans only ever sample uniformly from these pools, so
+    the synthetic ids carry exactly the information the census has."""
+
+    __slots__ = ("_alive", "_dead")
+
+    def __init__(self, alive: int, dead: int) -> None:
+        self._alive = alive
+        self._dead = dead
+
+    @property
+    def n(self) -> int:
+        return self._alive + self._dead
+
+    def state(self, u: int):
+        return DEAD if u >= self._alive else "__alive__"
+
+
+class CountSimulator(IndexedSimulator):
+    """Anonymous count-based engine: census representation plus
+    tau-leaped batched stepping above ``leap_threshold``, the exact
+    state-indexed path below it (see the module docstring for the
+    regime split and its semantics).
+
+    Parameters
+    ----------
+    seed, faults:
+        As for every engine.
+    leap_threshold:
+        Population size at which the census leap regime engages; below
+        it the run delegates to the (distributionally exact) indexed
+        path.  ``None`` uses :data:`DEFAULT_LEAP_THRESHOLD`.
+    """
+
+    #: Below this population the exact indexed path runs; above it the
+    #: census leap regime engages (when the run is census-representable).
+    DEFAULT_LEAP_THRESHOLD = 4096
+
+    #: Tau-leap drift bound: a leap's firing budget keeps the expected
+    #: relative change of every state count below this fraction.
+    LEAP_EPSILON = 0.1
+
+    #: Hard cap on firings per leap.
+    MAX_LEAP = 1 << 20
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        faults: tuple = (),
+        *,
+        leap_threshold: int | None = None,
+    ) -> None:
+        super().__init__(seed, faults)
+        self.leap_threshold = (
+            self.DEFAULT_LEAP_THRESHOLD if leap_threshold is None else leap_threshold
+        )
+        #: Optional observer called as ``(steps, counts, ends, k)`` after
+        #: every applied leap — state counts and active-endpoint masses
+        #: keyed by interned ids.  Used by the test harness and handy for
+        #: ad-hoc inspection; None in production.
+        self.leap_hook = None
+
+    @classmethod
+    def supports(cls, scenario) -> bool:
+        """Anonymity-aware routing: uniform random scheduler only (like
+        every event-driven engine), and no scenario axis that names
+        concrete node or edge identities — identity-based faults
+        (``cut``, ``byzantine``) and scripted initial configurations
+        (``doped:``, ``graph:``) are declined."""
+        if not scenario.uses_uniform_scheduler:
+            return False
+        for spec in scenario.faults:
+            if str(spec).split(":", 1)[0] in IDENTITY_FAULTS:
+                return False
+        init = str(scenario.init)
+        if init and init.split(":", 1)[0] in IDENTITY_INITS:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Regime selection
+    # ------------------------------------------------------------------
+    def _leap_eligible(self, n, stop, trace, max_effective_steps) -> bool:
+        if n < self.leap_threshold:
+            return False
+        if trace is not None or max_effective_steps is not None:
+            return False
+        return all(isinstance(f, _LEAPABLE_FAULTS) for f in self.faults)
+
+    def run(
+        self,
+        protocol,
+        n: int,
+        max_steps: int | None = None,
+        *,
+        config: Configuration | None = None,
+        stop=None,
+        trace=None,
+        check_interval: int = 1,
+        require_convergence: bool = False,
+        max_effective_steps: int | None = None,
+        copy_config: bool = True,
+    ) -> RunResult:
+        if not self._leap_eligible(n, stop, trace, max_effective_steps):
+            return super().run(
+                protocol,
+                n,
+                max_steps,
+                config=config,
+                stop=stop,
+                trace=trace,
+                check_interval=check_interval,
+                require_convergence=require_convergence,
+                max_effective_steps=max_effective_steps,
+                copy_config=copy_config,
+            )
+        result = self._run_leap(
+            protocol,
+            n,
+            max_steps,
+            config=config,
+            stop=stop,
+            require_convergence=require_convergence,
+        )
+        if result is None:
+            # The stabilization certificate needs per-node structure the
+            # census cannot provide: run the exact path instead.
+            return super().run(
+                protocol,
+                n,
+                max_steps,
+                config=config,
+                stop=stop,
+                trace=trace,
+                check_interval=check_interval,
+                require_convergence=require_convergence,
+                max_effective_steps=max_effective_steps,
+                copy_config=copy_config,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Leap regime
+    # ------------------------------------------------------------------
+    def _run_leap(
+        self,
+        protocol,
+        n: int,
+        max_steps: int | None,
+        *,
+        config: Configuration | None,
+        stop,
+        require_convergence: bool,
+    ) -> RunResult | None:
+        if n < 2:
+            raise SimulationError("need at least 2 nodes")
+        if config is not None and config.n != n:
+            raise SimulationError(
+                f"configuration has {config.n} nodes, expected {n}"
+            )
+        compiled = protocol.compile()
+        intern = compiled.intern
+        state_of = compiled.state_of
+        is_effective = compiled.is_effective
+        resolved = compiled.resolved
+        stabilized = stop if stop is not None else protocol.stabilized
+        leap = make_leap_rng(self.seed)
+
+        # Census keyed by interned state ids; DEAD tracked separately.
+        # The edge structure is the annealed closure's sufficient
+        # statistic: exact total ``n_edges`` plus exact per-state active
+        # endpoint masses ``ends`` (sum = 2 * n_edges).
+        counts: dict[int, int] = {}
+        ends: dict[int, int] = {}
+        n_edges = 0
+        dead_count = 0
+        if config is None and (
+            type(protocol).initial_configuration
+            is Protocol.initial_configuration
+        ):
+            # The model's canonical start: all n nodes in initial_state,
+            # no edges — O(1), which is what makes n = 10^6 cheap.
+            counts[intern(protocol.initial_state)] = n
+        else:
+            # Non-uniform protocol-defined start (seeded epidemics, tape
+            # layouts): materialize once and keep only its census.
+            cen = (
+                config if config is not None
+                else protocol.initial_configuration(n)
+            ).census()
+            for s, c in cen.counts.items():
+                if s == DEAD:
+                    dead_count = c
+                else:
+                    counts[intern(s)] = counts.get(intern(s), 0) + c
+            for (a, b), e in cen.edges.items():
+                if a == DEAD or b == DEAD:
+                    continue
+                ia, ib = intern(a), intern(b)
+                ends[ia] = ends.get(ia, 0) + e
+                ends[ib] = ends.get(ib, 0) + e
+                n_edges += e
+        alive = sum(counts.values())
+
+        def pairs(a: int, b: int) -> int:
+            na = counts.get(a, 0)
+            if a == b:
+                return na * (na - 1) // 2
+            return na * counts.get(b, 0)
+
+        def eadd(s: int, delta: int) -> None:
+            # Negatives are allowed transiently: a leap that over-fires a
+            # class is detected post-batch and retried smaller.
+            if delta == 0:
+                return
+            value = ends.get(s, 0) + delta
+            if value == 0:
+                ends.pop(s, None)
+            else:
+                ends[s] = value
+
+        def expected_edges(a: int, b: int) -> float:
+            """Annealed (random endpoint matching) class composition."""
+            if n_edges <= 0:
+                return 0.0
+            ea = ends.get(a, 0)
+            if a == b:
+                return ea * ea / (4.0 * n_edges)
+            return ea * ends.get(b, 0) / (2.0 * n_edges)
+
+        def view() -> _CensusConfigView:
+            raw = {state_of(s): c for s, c in counts.items() if c > 0}
+            if dead_count:
+                raw[DEAD] = dead_count
+            return _CensusConfigView(raw, n_edges)
+
+        # Probe the certificate: if it needs per-node structure, the
+        # caller falls back to the exact engine (no steps consumed yet).
+        try:
+            probe = bool(stabilized(view()))
+        except Exception:
+            return None
+
+        def certificate() -> bool:
+            try:
+                return bool(stabilized(view()))
+            except Exception:
+                # Worked at step 0 but needs structure now: materialize a
+                # census-faithful configuration and ask the real question.
+                return bool(
+                    stabilized(
+                        self._materialize(counts, ends, n_edges, dead_count, state_of)
+                    )
+                )
+
+        plan = compile_fault_plan(self.faults, n, self.seed, protocol)
+        fault_next = plan.next_step(-1) if plan is not None else None
+        horizon = plan.horizon if plan is not None else -1
+
+        out_states = protocol.output_states
+        notify_crash = protocol.on_neighbor_crash
+
+        def side_flow(s: int, s2: int, k: int, direct: int) -> tuple[int, int, int]:
+            """Endpoint flow for ``k`` firings whose ``s``-side mover
+            changed state to ``s2``: each mover carries its direct
+            interaction endpoint (exact, ``direct`` is 1 when the
+            interaction edge was active) plus its other active endpoints
+            at the state's mean other-degree ``ends(s)/count(s) -
+            direct``.  The share is a probabilistically-rounded
+            expectation, not a binomial draw: endpoint masses of sparse
+            states (walkers, leaders) are deterministic in the true
+            process, so the closure must not inject O(sqrt(k)) noise into
+            them — that random-walks small masses into absorbing zero and
+            freezes their interaction channels.  Returns ``(s, s2,
+            moved)`` without mutating, so both sides of one firing batch
+            are computed from the same pre-firing masses (applying one
+            side first would contaminate the other side's degree)."""
+            if s == s2 or k <= 0:
+                return (s, s2, 0)
+            ns = counts.get(s, 0)
+            guaranteed = k * direct
+            pool = max(0, ends.get(s, 0) - guaranteed)
+            moved = guaranteed
+            if pool > 0 and ns > 0:
+                extra = ends.get(s, 0) / ns - direct
+                if extra > 0.0:
+                    expected = k * extra
+                    lot = int(expected)
+                    if leap.random() < expected - lot:
+                        lot += 1
+                    moved += min(pool, lot)
+            return (s, s2, moved)
+
+        def move_side(s: int, s2: int, k: int, direct: int) -> None:
+            s, s2, moved = side_flow(s, s2, k, direct)
+            if moved:
+                eadd(s, -moved)
+                eadd(s2, moved)
+
+        def apply_census_faults(at: int) -> bool:
+            nonlocal alive, dead_count, n_edges
+            changed = False
+            facade = _PlanFacade(alive, dead_count)
+            synthetic_alive = list(range(alive))
+            for action in plan.actions_at(at, facade, synthetic_alive):
+                if action.kind == "crash":
+                    k = min(len(action.nodes), alive)
+                    if k <= 0:
+                        continue
+                    drawn = census_sample_states(counts, k, leap)
+                    for s, c in drawn.items():
+                        ns = counts.get(s, 0)
+                        es = ends.get(s, 0)
+                        # Crashed nodes take their active endpoints with
+                        # them; every lost edge also sheds its far endpoint
+                        # (annealed partner draw) and the far node gets the
+                        # protocol's crash notification.
+                        lost = min(es, leap.binomial(es, min(1.0, c / max(ns, 1))))
+                        if lost > 0:
+                            eadd(s, -lost)
+                            n_edges -= lost
+                            partners = [x for x in list(ends) if ends[x] > 0]
+                            weights = [float(ends[x]) for x in partners]
+                            split = (
+                                leap.multinomial(lost, weights) if partners else []
+                            )
+                            for x, cx in zip(partners, split):
+                                take = min(cx, ends.get(x, 0))
+                                if take <= 0:
+                                    continue
+                                eadd(x, -take)
+                                moved_state = notify_crash(state_of(x))
+                                if moved_state is not None:
+                                    new_id = intern(moved_state)
+                                    if new_id != x:
+                                        movers = min(take, counts.get(x, 0))
+                                        if movers > 0:
+                                            move_side(x, new_id, movers, 0)
+                                            counts[x] -= movers
+                                            counts[new_id] = (
+                                                counts.get(new_id, 0) + movers
+                                            )
+                        counts[s] = counts.get(s, 0) - c
+                        if counts.get(s, 0) <= 0:
+                            counts.pop(s, None)
+                    alive -= k
+                    dead_count += k
+                    changed = True
+                elif action.kind == "arrive":
+                    join = intern(_join_state(protocol))
+                    counts[join] = counts.get(join, 0) + action.count
+                    alive += action.count
+                    changed = True
+                elif action.kind == "revive":
+                    k = min(len(action.nodes), dead_count)
+                    if k <= 0:
+                        continue
+                    join = intern(_join_state(protocol))
+                    counts[join] = counts.get(join, 0) + k
+                    dead_count -= k
+                    alive += k
+                    changed = True
+                else:  # pragma: no cover - eligibility excludes cut/corrupt
+                    raise SimulationError(
+                        f"fault kind {action.kind!r} is not census-representable"
+                    )
+            return changed
+
+        def class_weights() -> list[tuple[tuple[int, int, int], float]]:
+            present = [s for s, c in counts.items() if c > 0]
+            out: list[tuple[tuple[int, int, int], float]] = []
+            for i, a in enumerate(present):
+                for b in present[i:]:
+                    p_ab = pairs(a, b)
+                    if p_ab <= 0:
+                        continue
+                    e_ab = min(expected_edges(a, b), float(p_ab))
+                    for c, w in ((1, e_ab), (0, p_ab - e_ab)):
+                        if w > 1e-12 and is_effective(a, b, c):
+                            out.append(((min(a, b), max(a, b), c), w))
+            return out
+
+        def choose_k(ws, total_weight: float, prev: int) -> int:
+            drift: dict[int, float] = {}
+            for (a, b, c), w in ws:
+                share = w / total_weight
+                dist, swapped = resolved(a, b, c)
+                for prob, (o1, o2, _e2) in dist:
+                    new_a, new_b = (o2, o1) if swapped else (o1, o2)
+                    pf = share * prob
+                    for old, new in ((a, new_a), (b, new_b)):
+                        if new != old:
+                            drift[old] = drift.get(old, 0.0) - pf
+                            drift[new] = drift.get(new, 0.0) + pf
+            cap = self.MAX_LEAP
+            for s, d in drift.items():
+                if d < 0.0:
+                    avail = counts.get(s, 0)
+                    cap = min(cap, max(1, int(self.LEAP_EPSILON * avail / -d)))
+            return max(1, min(cap, 2 * prev + 1))
+
+        def apply_class(a: int, b: int, c: int, k: int) -> tuple[int, bool]:
+            """Apply ``k`` firings of class ``(a, b, c)`` to the census.
+            Returns ``(non-identity firings, output graph affected)``."""
+            nonlocal n_edges
+            dist, swapped = resolved(a, b, c)
+            if len(dist) == 1:
+                split = [k]
+            else:
+                split = leap.multinomial(k, [p for p, _ in dist])
+            changed = 0
+            out_changed = False
+            for (_prob, (o1, o2, e2)), ko in zip(dist, split):
+                if ko <= 0:
+                    continue
+                new_a, new_b = (o2, o1) if swapped else (o1, o2)
+                if new_a == a and new_b == b and e2 == c:
+                    continue  # identity outcome of a probabilistic rule
+                changed += ko
+                # Movers carry their endpoints (direct one exact, others
+                # annealed).  Both sides' flows are computed from the same
+                # pre-firing masses, then applied together; the direct
+                # edge's own activation change is settled exactly after.
+                flows = []
+                if new_a != a:
+                    flows.append(side_flow(a, new_a, ko, c))
+                if new_b != b:
+                    flows.append(side_flow(b, new_b, ko, c))
+                for fs, fs2, moved in flows:
+                    if moved:
+                        eadd(fs, -moved)
+                        eadd(fs2, moved)
+                if new_a != a:
+                    counts[a] = counts.get(a, 0) - ko
+                    counts[new_a] = counts.get(new_a, 0) + ko
+                if new_b != b:
+                    counts[b] = counts.get(b, 0) - ko
+                    counts[new_b] = counts.get(new_b, 0) + ko
+                if e2 != c:
+                    delta = ko if e2 == 1 else -ko
+                    eadd(new_a, delta)
+                    eadd(new_b, delta)
+                    n_edges += delta
+                    out_changed = True
+                elif out_states is not None:
+                    for old, new in ((a, new_a), (b, new_b)):
+                        if (state_of(old) in out_states) != (state_of(new) in out_states):
+                            out_changed = True
+                            break
+            return changed, out_changed
+
+        steps = 0
+        effective = 0
+        last_change = 0
+        last_output = 0
+
+        while fault_next is not None and fault_next <= 0:
+            apply_census_faults(fault_next)
+            fault_next = plan.next_step(fault_next)
+
+        del probe  # only needed to validate the census view
+        if certificate() and 0 >= horizon:
+            return self._result(
+                True, 0, 0, 0, 0, "stabilized",
+                counts, ends, n_edges, dead_count, state_of,
+            )
+
+        prev_k = 0
+        k_ceiling = self.MAX_LEAP
+        while True:
+            if fault_next is not None and fault_next <= steps:
+                fault_changed = False
+                while fault_next is not None and fault_next <= steps:
+                    fault_changed |= apply_census_faults(fault_next)
+                    fault_next = plan.next_step(fault_next)
+                if fault_changed:
+                    last_change = steps
+                    last_output = steps
+                if steps >= horizon and certificate():
+                    return self._result(
+                        True, steps, effective, last_change, last_output,
+                        "stabilized", counts, ends, n_edges, dead_count, state_of,
+                    )
+            ws = class_weights()
+            total_weight = sum(w for _, w in ws)
+            if total_weight <= 0.0:
+                if fault_next is not None and (
+                    horizon > steps
+                    or n_edges > 0
+                    or plan.mutates_population
+                ):
+                    if max_steps is not None and fault_next > max_steps:
+                        steps = max_steps
+                        break
+                    steps = fault_next
+                    continue
+                return self._result(
+                    True, steps, effective, last_change, last_output,
+                    "quiescent", counts, ends, n_edges, dead_count, state_of,
+                )
+            m = alive * (alive - 1) // 2
+            k = min(choose_k(ws, total_weight, prev_k), k_ceiling)
+            k_ceiling = self.MAX_LEAP
+            jump_to_fault = False
+            hit_budget = False
+            while True:
+                failures = leap.geometric_failures(k, total_weight / m)
+                elapsed = k + failures
+                if fault_next is not None and steps + elapsed > fault_next:
+                    if k > 1:
+                        k = k // 2
+                        continue
+                    # The single firing lands past the fault; the skip is
+                    # memoryless, so jump the clock to the fault and redraw.
+                    if max_steps is not None and fault_next > max_steps:
+                        steps = max_steps
+                        hit_budget = True
+                        break
+                    steps = fault_next
+                    jump_to_fault = True
+                    break
+                if max_steps is not None and steps + elapsed > max_steps:
+                    if k > 1:
+                        k = k // 2
+                        continue
+                    steps = max_steps
+                    hit_budget = True
+                    break
+                break
+            if hit_budget:
+                break
+            if jump_to_fault:
+                continue
+            split = leap.multinomial(k, [float(w) for _, w in ws])
+            snap_counts = dict(counts)
+            snap_ends = dict(ends)
+            snap_n_edges = n_edges
+            changed = 0
+            out_any = False
+            for ((a, b, c), _w), kc in zip(ws, split):
+                if kc > 0:
+                    ch, oc = apply_class(a, b, c, kc)
+                    changed += ch
+                    out_any = out_any or oc
+            if (
+                n_edges < 0
+                or any(v < 0 for v in counts.values())
+                or any(v < 0 for v in ends.values())
+            ):
+                # Tau-leap overshoot: restore and retry with a smaller leap.
+                counts.clear()
+                counts.update(snap_counts)
+                ends.clear()
+                ends.update(snap_ends)
+                n_edges = snap_n_edges
+                k_ceiling = max(1, k // 2)
+                prev_k = 0
+                continue
+            counts_gc = [s for s, c in counts.items() if c == 0]
+            for s in counts_gc:
+                del counts[s]
+            steps += elapsed
+            effective += changed
+            prev_k = k
+            if self.leap_hook is not None:
+                self.leap_hook(steps, counts, ends, k)
+            if changed:
+                last_change = steps
+            if out_any:
+                last_output = steps
+            if certificate() and steps >= horizon and (
+                fault_next is None or fault_next > steps
+            ):
+                return self._result(
+                    True, steps, effective, last_change, last_output,
+                    "stabilized", counts, ends, n_edges, dead_count, state_of,
+                )
+        if require_convergence:
+            raise ConvergenceError(
+                f"{protocol.name} did not stabilize within budget (n={n})",
+                steps,
+            )
+        return self._result(
+            False, steps, effective, last_change, last_output,
+            "max_steps", counts, ends, n_edges, dead_count, state_of,
+        )
+
+    # ------------------------------------------------------------------
+    # Result materialization
+    # ------------------------------------------------------------------
+    def _materialize(
+        self, counts, ends, n_edges, dead_count, state_of
+    ) -> Configuration:
+        """A census-faithful :class:`Configuration`: per-class edge counts
+        are derived from the annealed closure's endpoint masses
+        (:func:`derive_edge_census`), then realized with the canonical
+        geometry of :meth:`Configuration.from_census`."""
+        raw_counts: dict = {}
+        for s, c in counts.items():
+            if c > 0:
+                raw = state_of(s)
+                raw_counts[raw] = raw_counts.get(raw, 0) + c
+        if dead_count:
+            raw_counts[DEAD] = raw_counts.get(DEAD, 0) + dead_count
+        derived = derive_edge_census(counts, ends, n_edges)
+        raw_edges: dict = {}
+        for (a, b), e in derived.items():
+            key = census_pair_key(state_of(a), state_of(b))
+            raw_edges[key] = raw_edges.get(key, 0) + e
+        census = Census(raw_counts, raw_edges)
+        clamped = {
+            key: min(e, census.class_pairs(*key))
+            for key, e in raw_edges.items()
+        }
+        return Configuration.from_census(Census(raw_counts, clamped))
+
+    def _result(
+        self, converged, steps, effective, last_change, last_output,
+        reason, counts, ends, n_edges, dead_count, state_of,
+    ) -> RunResult:
+        cfg = self._materialize(counts, ends, n_edges, dead_count, state_of)
+        return RunResult(
+            converged, steps, effective, last_change, last_output,
+            cfg, reason, None,
+        )
+
+
+#: Register the engine.  ``simulator`` imports this module at the end of
+#: its own body (and this module imports ``simulator``), so registration
+#: happens exactly once whichever module is imported first.
+ENGINES["count"] = CountSimulator

@@ -188,6 +188,48 @@ def probability(raw: float | str) -> float:
     return value
 
 
+def census_sample_states(
+    counts: dict[State, int], k: int, rng: random.Random
+) -> dict[State, int]:
+    """Draw ``k`` distinct nodes from a state census and return how many
+    landed in each state — the census-wise equivalent of sampling fault
+    victims uniformly from the alive population (multivariate
+    hypergeometric, drawn sequentially without replacement).
+
+    The anonymity-aware count engine uses this to apply ``crash`` /
+    ``churn`` victims to a ``(state -> count)`` census without naming
+    concrete node ids: a uniformly random alive node is in state ``s``
+    with probability ``counts[s] / population``, and each draw removes
+    the chosen node from the pool.
+
+    >>> import random
+    >>> census_sample_states({"a": 2, "b": 1}, 3, random.Random(0))
+    {'a': 2, 'b': 1}
+    >>> census_sample_states({"a": 5}, 2, random.Random(0))
+    {'a': 2}
+    """
+    pool = {s: c for s, c in counts.items() if c > 0}
+    total = sum(pool.values())
+    if k > total:
+        raise SimulationError(
+            f"cannot sample {k} nodes from a census of {total}"
+        )
+    drawn: dict[State, int] = {}
+    ordered = sorted(pool, key=repr)
+    for _ in range(k):
+        pick = rng.randrange(total)
+        acc = 0
+        for s in ordered:
+            avail = pool[s]
+            acc += avail
+            if pick < acc:
+                pool[s] = avail - 1
+                drawn[s] = drawn.get(s, 0) + 1
+                break
+        total -= 1
+    return drawn
+
+
 @dataclass(frozen=True)
 class FaultAction:
     """One concrete adversarial act, resolved to nodes/edges.

@@ -1075,7 +1075,10 @@ class IndexedSimulator:
 #: ``faults=``.  The sequential engine additionally accepts a
 #: ``scheduler`` and requires a finite ``max_steps`` budget.  Every
 #: class declares ``supports(scenario)`` for capability-aware routing
-#: (see :func:`repro.core.scenario.resolve_engine`).
+#: (see :func:`repro.core.scenario.resolve_engine`).  The ``count``
+#: engine registers itself from :mod:`repro.core.counting` (imported at
+#: the bottom of this module), keeping the census/tau-leap machinery out
+#: of this file while `ENGINES` stays the single registry.
 ENGINES: dict[str, type] = {
     "sequential": SequentialSimulator,
     "agitated": AgitatedSimulator,
@@ -1137,3 +1140,9 @@ def run_to_convergence(
         check_interval=check_interval,
         require_convergence=require_convergence,
     )
+
+
+# Imported last so the two modules can reference each other: counting.py
+# subclasses IndexedSimulator and registers the "count" engine in
+# ENGINES at its own import time, whichever module is imported first.
+from repro.core import counting as _counting  # noqa: E402,F401

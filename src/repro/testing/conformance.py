@@ -55,6 +55,14 @@ The checks
     active edges) even while the adversary lies about states; and the
     adaptive targeted scheduler runs the protocol through the
     sequential engine with an exception-free certificate at the end.
+``scenario-matrix``
+    A seeded rotating subset of the (scheduler x fault) scenario grid,
+    each cell run on every engine whose ``supports()`` accepts it
+    (others must resolve to the sequential reference).  Per cell the
+    runs hold the structural fault invariants and an exception-free
+    certificate; the count engine in particular must accept every
+    census-safe uniform-scheduler cell.  Cell membership rotates with
+    ``ks_seed`` so successive CI runs sweep the whole grid.
 ``static-lints``
     The rule-table lints of :func:`repro.verify.run_lints` (static —
     no engine in the loop): no unreachable states, dead or effectless
@@ -86,7 +94,7 @@ from typing import Callable, Iterable, Iterator
 from repro.core.errors import ReproError
 from repro.core.faults import DEAD
 from repro.core.protocol import Protocol, resolve
-from repro.core.scenario import Scenario, make_scenario_engine
+from repro.core.scenario import Scenario, make_scenario_engine, resolve_engine
 from repro.core.simulator import ENGINES, make_engine
 from repro.core.trace import Trace
 from repro.protocols import registry
@@ -159,6 +167,10 @@ class ConformanceSettings:
     model_populations: tuple[int, ...] = (4, 5, 3, 2, 6)
     #: Cap on canonical configurations explored per model-check cell.
     model_max_configs: int = 60_000
+    #: (scheduler x fault) cells of the scenario matrix run per protocol
+    #: per run; membership rotates with ``ks_seed`` so successive CI
+    #: runs sweep the whole grid.
+    matrix_cells: int = 3
 
     def __post_init__(self) -> None:
         if self.seeds < 1:
@@ -180,6 +192,11 @@ class ConformanceSettings:
         if not 0.0 < self.ks_alpha < 1.0:
             raise ConformanceError(
                 f"ks_alpha must be in (0, 1), got {self.ks_alpha}"
+            )
+        if self.matrix_cells < 1:
+            raise ConformanceError(
+                f"matrix_cells must be >= 1, got {self.matrix_cells} "
+                "(the scenario matrix would be empty)"
             )
 
 
@@ -732,6 +749,116 @@ def check_adversarial(protocol, spec, settings):
     )
 
 
+#: Scheduler axis of the scenario matrix (specs from
+#: :data:`repro.core.scheduler.SCHEDULERS`); kept tiny per run — the
+#: seeded rotation sweeps the full grid across CI runs.
+MATRIX_SCHEDULERS: tuple[str, ...] = (
+    "uniform",
+    "round-robin",
+    "laggard:lagged=0..1",
+    "targeted:aim=leader",
+)
+
+#: Fault axis of the scenario matrix.
+MATRIX_FAULTS: tuple[tuple[str, ...], ...] = (
+    (),
+    ("crash:count=1,at=40",),
+    ("arrive:count=2,at=40",),
+)
+
+
+def _matrix_rank(settings: ConformanceSettings, spec: str, cell: str) -> int:
+    """Stable rotation rank of one scenario-matrix cell (lower runs
+    first); varies with ``ks_seed`` like the KS rotation."""
+    digest = hashlib.sha256(
+        f"{settings.ks_seed}|{spec}|matrix|{cell}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def check_scenario_matrix(protocol, spec, settings):
+    """Scenario-matrix axis: a seeded rotating (scheduler x fault)
+    subset of cells, each run on every engine whose ``supports()``
+    accepts the scenario (non-supporting engines must resolve to the
+    ``sequential`` reference, never run silently).  Each run holds the
+    structural obligations of the other checks: it finishes inside the
+    fault budget, crash victims hold the DEAD sentinel with no active
+    edges, arrivals grow the population by exactly their count, and the
+    certificate is exception-free over the final configuration."""
+    n = conformance_population(protocol, settings)
+    if n < 3:
+        return _skip(spec, "scenario-matrix", f"population n={n} too small")
+    cells = sorted(
+        product(MATRIX_SCHEDULERS, MATRIX_FAULTS),
+        key=lambda cell: _matrix_rank(settings, spec, repr(cell)),
+    )[: settings.matrix_cells]
+    ran = []
+    for scheduler, faults in cells:
+        if faults and faults[0].startswith("arrive") and (
+            protocol.initial_state is None
+        ):
+            # Arrivals join in the protocol's uniform initial state;
+            # scripted-initial protocols have none to join in.
+            faults = ()
+        scenario = Scenario(scheduler=scheduler, faults=faults)
+        supporting = [
+            name for name in sorted(ENGINES)
+            if ENGINES[name].supports(scenario)
+        ]
+        if not supporting:
+            return _fail(
+                spec, "scenario-matrix",
+                f"no engine supports ({scenario.describe()})",
+            )
+        for name in sorted(ENGINES):
+            resolved = resolve_engine(name, scenario, warn=False)
+            if resolved != name and resolved not in supporting:
+                return _fail(
+                    spec, "scenario-matrix",
+                    f"engine {name!r} resolved to non-supporting "
+                    f"{resolved!r} for ({scenario.describe()})",
+                )
+        if scenario.uses_uniform_scheduler and "count" not in supporting:
+            return _fail(
+                spec, "scenario-matrix",
+                "the count engine must support every census-safe uniform "
+                f"scenario, but declined ({scenario.describe()})",
+            )
+        for engine in supporting:
+            seed = _matrix_rank(settings, spec, f"{scenario.describe()}|{engine}") % 2**16
+            fresh = registry.instantiate(spec)
+            sim = make_scenario_engine(engine, seed, scenario)
+            result = sim.run(
+                fresh, n, settings.fault_budget, require_convergence=False
+            )
+            config = result.config
+            dead = [u for u in range(config.n) if config.state(u) == DEAD]
+            if faults and faults[0].startswith("crash"):
+                if len(dead) != 1:
+                    return _fail(
+                        spec, "scenario-matrix",
+                        f"{engine} under ({scenario.describe()}): "
+                        f"{len(dead)} DEAD nodes, expected 1",
+                    )
+                if any(config.neighbors(u) for u in dead):
+                    return _fail(
+                        spec, "scenario-matrix",
+                        f"{engine} under ({scenario.describe()}): DEAD "
+                        "node holds active edges",
+                    )
+            if faults and faults[0].startswith("arrive"):
+                if config.n != n + 2:
+                    return _fail(
+                        spec, "scenario-matrix",
+                        f"{engine} under ({scenario.describe()}): "
+                        f"population {config.n}, expected {n + 2}",
+                    )
+            # Certificates must stay exception-free whatever the cell did.
+            fresh.stabilized(config)
+        ran.append(f"({scenario.describe()}) x {len(supporting)} engines")
+    return _ok(spec, "scenario-matrix", f"n={n}: " + "; ".join(ran))
+
+
 def check_static_lints(protocol, spec, settings):
     """Rule-table lints over the reachable state abstraction — the
     static layer's obligations (see :mod:`repro.verify.lints`)."""
@@ -807,6 +934,7 @@ CHECKS: dict[str, Callable] = {
     "stabilization": check_stabilization,
     "faults": check_faults,
     "adversarial": check_adversarial,
+    "scenario-matrix": check_scenario_matrix,
     "static-lints": check_static_lints,
     "model-check": check_model_check,
 }

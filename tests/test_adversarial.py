@@ -128,6 +128,8 @@ class TestByzantineFaults:
     @pytest.mark.parametrize("engine", ALL_ENGINES)
     def test_same_seed_same_byzantine_run(self, engine):
         scenario = Scenario(faults=("byzantine:count=2,rate=0.01",))
+        if not ENGINES[engine].supports(scenario):
+            pytest.skip(f"{engine} declines identity-based faults")
         signatures = []
         for _ in range(2):
             sim = make_scenario_engine(engine, 7, scenario)
@@ -261,6 +263,8 @@ class TestEdgeLossNotifications:
     @pytest.mark.parametrize("engine", ALL_ENGINES)
     def test_cut_notifies_both_endpoints(self, engine):
         scenario = Scenario(faults=("cut:edges=1-2,at=5",))
+        if not ENGINES[engine].supports(scenario):
+            pytest.skip(f"{engine} declines identity-based faults")
         sim = make_scenario_engine(engine, 0, scenario)
         result = sim.run(Recorder(), 4, 1_000, require_convergence=False)
         config = result.config
@@ -270,6 +274,8 @@ class TestEdgeLossNotifications:
     @pytest.mark.parametrize("engine", ALL_ENGINES)
     def test_edge_drop_notifies_until_no_edges_remain(self, engine):
         scenario = Scenario(faults=("edge-drop:rate=0.05",))
+        if not ENGINES[engine].supports(scenario):
+            pytest.skip(f"{engine} declines identity-based faults")
         sim = make_scenario_engine(engine, 1, scenario)
         result = sim.run(Recorder(), 5, 50_000, require_convergence=False)
         config = result.config

@@ -277,6 +277,145 @@ class TestCheckersDetectViolations:
         assert set(CHECKS) >= {o.check for o in outcomes}
 
 
+class TestScenarioMatrix:
+    """The rotating (scheduler x fault) scenario-matrix check."""
+
+    def test_matrix_cells_must_be_positive(self):
+        from repro.testing import ConformanceSettings
+
+        with pytest.raises(ConformanceError, match="matrix_cells"):
+            ConformanceSettings(matrix_cells=0)
+
+    def test_rotation_is_deterministic_and_seed_dependent(self):
+        from itertools import product
+
+        from repro.testing import ConformanceSettings
+        from repro.testing.conformance import (
+            MATRIX_FAULTS,
+            MATRIX_SCHEDULERS,
+            _matrix_rank,
+        )
+
+        def cells(seed, spec="global-star"):
+            settings = ConformanceSettings(ks_seed=seed)
+            grid = sorted(
+                product(MATRIX_SCHEDULERS, MATRIX_FAULTS),
+                key=lambda cell: _matrix_rank(settings, spec, repr(cell)),
+            )
+            return grid[: settings.matrix_cells]
+
+        assert cells(1) == cells(1)
+        assert any(cells(seed) != cells(1) for seed in range(2, 8))
+
+    def test_full_grid_runs_every_engine_on_the_uniform_cell(self):
+        from repro.testing import ConformanceSettings
+        from repro.testing.conformance import check_scenario_matrix
+
+        settings = ConformanceSettings(matrix_cells=12)
+        outcome = check_scenario_matrix(
+            registry.instantiate("global-star"), "global-star", settings
+        )
+        assert outcome.passed, outcome.detail
+        # The faultless uniform cell admits all four engines; targeted
+        # scheduling is sequential-only.
+        assert "(scheduler=uniform) x 4 engines" in outcome.detail
+        assert "targeted" in outcome.detail and "x 1 engines" in outcome.detail
+
+    def test_small_population_skips(self):
+        from repro.testing import ConformanceSettings
+        from repro.testing.conformance import check_scenario_matrix
+
+        class Tiny(Protocol):
+            name = "tiny"
+            initial_state = "a"
+            states = frozenset({"a"})
+
+            def delta(self, a, b, c):
+                return None
+
+        settings = ConformanceSettings(populations=(2,), matrix_cells=1)
+        outcome = check_scenario_matrix(Tiny(), "tiny", settings)
+        assert outcome.skipped and "too small" in outcome.detail
+
+    @staticmethod
+    def _fault_dropping_count(monkeypatch):
+        """Swap the count engine for one that silently drops faults —
+        the bug class the structural invariants exist to catch."""
+        from repro.core.simulator import ENGINES
+
+        class LazyCount(ENGINES["indexed"]):
+            def __init__(self, seed=None, faults=(), **kwargs):
+                super().__init__(seed=seed)
+
+            @classmethod
+            def supports(cls, scenario):
+                return True
+
+        monkeypatch.setitem(ENGINES, "count", LazyCount)
+
+    def test_dropped_crash_fault_fails_the_cell(self, monkeypatch):
+        from repro.testing import ConformanceSettings
+        from repro.testing import conformance as kit
+
+        self._fault_dropping_count(monkeypatch)
+        monkeypatch.setattr(kit, "MATRIX_FAULTS", (("crash:count=1,at=40",),))
+        settings = ConformanceSettings(matrix_cells=1)
+        outcome = kit.check_scenario_matrix(
+            registry.instantiate("global-star"), "global-star", settings
+        )
+        assert not outcome.passed
+        assert "DEAD nodes, expected 1" in outcome.detail
+
+    def test_dropped_arrival_fault_fails_the_cell(self, monkeypatch):
+        from repro.testing import ConformanceSettings
+        from repro.testing import conformance as kit
+
+        self._fault_dropping_count(monkeypatch)
+        monkeypatch.setattr(kit, "MATRIX_FAULTS", (("arrive:count=2,at=40",),))
+        settings = ConformanceSettings(matrix_cells=1)
+        outcome = kit.check_scenario_matrix(
+            registry.instantiate("global-star"), "global-star", settings
+        )
+        assert not outcome.passed
+        assert "population" in outcome.detail
+
+    def test_cell_with_no_supporting_engine_fails(self, monkeypatch):
+        from repro.testing import ConformanceSettings
+        from repro.testing import conformance as kit
+
+        class Decliner:
+            @classmethod
+            def supports(cls, scenario):
+                return False
+
+        monkeypatch.setattr(kit, "ENGINES", {"decliner": Decliner})
+        outcome = kit.check_scenario_matrix(
+            registry.instantiate("global-star"),
+            "global-star",
+            ConformanceSettings(matrix_cells=1),
+        )
+        assert not outcome.passed
+        assert "no engine supports" in outcome.detail
+
+    def test_count_refusing_a_uniform_cell_fails(self, monkeypatch):
+        from repro.core.simulator import ENGINES
+        from repro.testing import ConformanceSettings
+        from repro.testing.conformance import check_scenario_matrix
+
+        class Grumpy(ENGINES["count"]):
+            @classmethod
+            def supports(cls, scenario):
+                return False
+
+        monkeypatch.setitem(ENGINES, "count", Grumpy)
+        settings = ConformanceSettings(matrix_cells=12)
+        outcome = check_scenario_matrix(
+            registry.instantiate("global-star"), "global-star", settings
+        )
+        assert not outcome.passed
+        assert "count engine must support" in outcome.detail
+
+
 class TestEngineKSRotation:
     """The sampled KS escalation of the ``engines`` check."""
 

@@ -1,0 +1,392 @@
+"""The count engine: routing, regimes, and the equivalence gate.
+
+The count engine (:class:`repro.core.counting.CountSimulator`) is the
+anonymity-native fourth engine: a run is a ``(state -> count)`` census
+plus the annealed edge statistic, stepped in tau-leaped batches above
+``leap_threshold`` and delegated verbatim to the indexed engine below
+it.  This suite pins the contract from both sides:
+
+* **routing** — ``supports()`` declines exactly the identity-based
+  scenarios (cut/byzantine faults, doped/graph inits, non-uniform
+  schedulers) and ``resolve_engine`` falls back to the sequential
+  reference for them;
+* **exact regime** — below the threshold the engine is bit-identical to
+  the indexed engine, so the KS/CI-band distributional gates (faultless
+  Figure-2 line, and crash / arrivals / churn / edge-rate scenarios)
+  compare genuinely independent seed ranges of the same law;
+* **leap regime** — forced with ``leap_threshold=0``: exact on
+  census-Markov processes (the one-way epidemic matches the closed-form
+  expectation), structurally convergent on the line family, and
+  invariant-preserving under census-wise faults;
+* **census round-trip** — Hypothesis properties for
+  ``Configuration.census`` / ``from_census`` conservation and for
+  :func:`derive_edge_census` / :func:`census_sample_states`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import Census, Configuration, census_pair_key
+from repro.core.counting import (
+    IDENTITY_FAULTS,
+    IDENTITY_INITS,
+    CountSimulator,
+    derive_edge_census,
+)
+from repro.core.errors import SimulationError
+from repro.core.faults import DEAD, census_sample_states
+from repro.core.scenario import Scenario, make_scenario_engine, resolve_engine
+from repro.core.simulator import ENGINES, IndexedSimulator, make_engine
+from repro.processes import OneWayEpidemic, one_way_epidemic_expectation
+from repro.protocols import FTGlobalLine, SimpleGlobalLine
+
+
+class TestEngineRouting:
+    """Registration and anonymity-aware scenario routing."""
+
+    def test_registered_as_fourth_engine(self):
+        assert "count" in ENGINES
+        sim = make_engine("count", seed=0)
+        assert isinstance(sim, CountSimulator)
+        # The exact regime is inherited, not reimplemented.
+        assert isinstance(sim, IndexedSimulator)
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            Scenario(),
+            Scenario(faults=("crash:count=1,at=40",)),
+            Scenario(faults=("arrive:count=2,at=40",)),
+            Scenario(faults=("churn:rate=0.001",)),
+            Scenario(faults=("edge-rate:rate=0.0001",)),
+            Scenario(faults=("edge-drop:rate=0.002",)),
+        ],
+        ids=lambda s: s.describe(),
+    )
+    def test_supports_census_safe_scenarios(self, scenario):
+        assert CountSimulator.supports(scenario)
+        assert resolve_engine("count", scenario) == "count"
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            Scenario(faults=("cut:edges=0-1,at=10",)),
+            Scenario(faults=("byzantine:count=1,rate=0.001,lie=0.5",)),
+            Scenario(init="doped:state=l,count=2"),
+            Scenario(init="graph:graph=path-4"),
+            Scenario(scheduler="rr"),
+            Scenario(scheduler="laggard:lagged=0..1"),
+            Scenario(scheduler="targeted:aim=leader"),
+        ],
+        ids=lambda s: s.describe(),
+    )
+    def test_declines_identity_based_scenarios(self, scenario):
+        assert not CountSimulator.supports(scenario)
+        # The scenario layer falls back to the per-node reference engine
+        # rather than running an anonymity-unsafe census.
+        assert resolve_engine("count", scenario, warn=False) == "sequential"
+        with pytest.raises(SimulationError):
+            make_scenario_engine("count", 0, scenario)
+
+    def test_identity_sets_cover_the_declined_prefixes(self):
+        assert IDENTITY_FAULTS == {"cut", "byzantine"}
+        assert IDENTITY_INITS == {"doped", "graph"}
+
+
+class TestExactRegime:
+    """Below ``leap_threshold`` the count engine *is* the indexed
+    engine: same seed, same trajectory, bit for bit."""
+
+    def test_bit_identical_to_indexed(self):
+        for seed in range(5):
+            cnt = CountSimulator(seed=seed).run(SimpleGlobalLine(), 9, None)
+            idx = IndexedSimulator(seed=seed).run(SimpleGlobalLine(), 9, None)
+            assert cnt.steps == idx.steps
+            assert cnt.effective_steps == idx.effective_steps
+            assert cnt.last_change_step == idx.last_change_step
+            assert cnt.config.census() == idx.config.census()
+
+    def test_bit_identical_under_faults(self):
+        scenario = Scenario(faults=("crash:count=2,at=50",))
+        for seed in range(3):
+            cnt = CountSimulator(seed=seed, faults=scenario.make_faults()).run(
+                FTGlobalLine(), 10, 500_000
+            )
+            idx = IndexedSimulator(seed=seed, faults=scenario.make_faults()).run(
+                FTGlobalLine(), 10, 500_000
+            )
+            assert cnt.steps == idx.steps
+            assert cnt.config.census() == idx.config.census()
+
+    def test_threshold_is_configurable(self):
+        assert CountSimulator(seed=0).leap_threshold == (
+            CountSimulator.DEFAULT_LEAP_THRESHOLD
+        )
+        assert CountSimulator(seed=0, leap_threshold=17).leap_threshold == 17
+
+
+class TestLeapRegime:
+    """``leap_threshold=0`` forces the tau-leaped census path."""
+
+    def test_leap_hook_observes_batched_steps(self):
+        sim = CountSimulator(seed=1, leap_threshold=0)
+        leaps = []
+        sim.leap_hook = lambda steps, counts, ends, k: leaps.append(k)
+        result = sim.run(SimpleGlobalLine(), 64, 10_000_000)
+        assert result.converged
+        assert leaps and all(k >= 1 for k in leaps)
+        # Batching is the point: far fewer leaps than scheduler steps.
+        assert len(leaps) < result.steps
+
+    def test_epidemic_mean_matches_closed_form(self):
+        # The one-way epidemic is census-Markov (no edges), so the leap
+        # regime samples the exact process; the mean must match the
+        # closed-form coupon-collector expectation like any engine.
+        n, trials = 12, 300
+        exact = one_way_epidemic_expectation(n)
+        times = [
+            CountSimulator(seed=s, leap_threshold=0)
+            .run(OneWayEpidemic(), n, None)
+            .last_change_step
+            for s in range(trials)
+        ]
+        mean = statistics.fmean(times)
+        assert abs(mean - exact) / exact < 0.1, (mean, exact)
+
+    def test_nonuniform_initial_configuration_is_honored(self):
+        # Regression: the leap path must take the census of an
+        # overridden initial_configuration (one seeded infection), not
+        # assume the all-initial_state uniform start — which would be
+        # quiescent at step 0 here.
+        result = CountSimulator(seed=0, leap_threshold=0).run(
+            OneWayEpidemic(), 12, None
+        )
+        assert result.steps > 0
+        assert result.config.count_in_state("a") == 12
+
+    def test_line_family_converges_structurally(self):
+        for seed in range(5):
+            result = CountSimulator(seed=seed, leap_threshold=0).run(
+                SimpleGlobalLine(), 120, 10**11, require_convergence=False
+            )
+            assert result.converged, result.stop_reason
+            census = result.config.census()
+            census.validate()
+            # A spanning line: n-1 active edges over the alive nodes.
+            assert result.config.n_active_edges == 119
+
+    def test_crash_faults_hold_census_invariants(self):
+        scenario = Scenario(faults=("crash:count=2,at=50",))
+        for seed in range(3):
+            sim = CountSimulator(
+                seed=seed, faults=scenario.make_faults(), leap_threshold=0
+            )
+            result = sim.run(
+                FTGlobalLine(), 60, 10**10, require_convergence=False
+            )
+            config = result.config
+            dead = [u for u in range(config.n) if config.state(u) == DEAD]
+            assert len(dead) == 2
+            assert all(not config.neighbors(u) for u in dead)
+            config.census().validate()
+
+    def test_arrivals_grow_the_census(self):
+        scenario = Scenario(faults=("arrive:count=3,at=100",))
+        sim = CountSimulator(
+            seed=2, faults=scenario.make_faults(), leap_threshold=0
+        )
+        result = sim.run(
+            SimpleGlobalLine(), 50, 10**10, require_convergence=False
+        )
+        assert result.config.n == 53
+
+    def test_inert_protocol_is_quiescent_immediately(self):
+        class Inert(SimpleGlobalLine):
+            def delta(self, a, b, c):
+                return None
+
+        result = CountSimulator(seed=0, leap_threshold=0).run(
+            Inert(), 100, 10_000
+        )
+        assert result.converged and result.steps == 0
+
+
+def _times(engine, protocol_factory, n, scenario, budget, seeds, *,
+           require_convergence=True):
+    """Convergence-measure samples of one engine over a scenario."""
+    times = []
+    for seed in seeds:
+        sim = make_scenario_engine(engine, seed, scenario)
+        result = sim.run(
+            protocol_factory(), n, budget,
+            require_convergence=require_convergence,
+        )
+        times.append(result.last_output_change_step)
+    return times
+
+
+class TestDistributionalEquivalence:
+    """The seeded KS gate of the acceptance criteria: the count engine
+    must sample the same law as the indexed engine, on the faultless
+    Figure-2 line and under census-wise faults.  Disjoint seed ranges
+    make the samples independent; at these populations the count engine
+    is in its exact regime, which is precisely the regime the gate
+    certifies (the leap regime is gated by the census-Markov and
+    structural tests above)."""
+
+    TRIALS = 250
+
+    def _check(self, protocol_factory, n, scenario, budget, *,
+               require_convergence=True):
+        from scipy.stats import ks_2samp
+
+        cnt = _times(
+            "count", protocol_factory, n, scenario, budget,
+            range(self.TRIALS), require_convergence=require_convergence,
+        )
+        idx = _times(
+            "indexed", protocol_factory, n, scenario, budget,
+            range(10_000, 10_000 + self.TRIALS),
+            require_convergence=require_convergence,
+        )
+        idx_median = statistics.median(idx)
+        median = statistics.median(cnt)
+        assert abs(idx_median - median) / idx_median < 0.3, (
+            idx_median, median,
+        )
+        statistic, p_value = ks_2samp(cnt, idx)
+        assert p_value > 0.001, (statistic, p_value)
+
+    def test_figure2_line_faultless(self):
+        self._check(SimpleGlobalLine, 8, Scenario(), 500_000)
+
+    def test_crash_with_notifications(self):
+        self._check(
+            FTGlobalLine, 10,
+            Scenario(faults=("crash:count=2,at=50",)), 500_000,
+        )
+
+    def test_arrivals(self):
+        self._check(
+            SimpleGlobalLine, 6,
+            Scenario(faults=("arrive:count=3,at=100",)), 500_000,
+        )
+
+    def test_churn(self):
+        # Churn is unbounded, so runs are budget-bounded and compared on
+        # the last output change inside the window.
+        self._check(
+            FTGlobalLine, 8,
+            Scenario(faults=("churn:rate=0.0001",)), 100_000,
+            require_convergence=False,
+        )
+
+    def test_edge_rate(self):
+        self._check(
+            SimpleGlobalLine, 8,
+            Scenario(faults=("edge-rate:rate=0.0001",)), 100_000,
+        )
+
+
+# ----------------------------------------------------------------------
+# Census round-trip properties
+# ----------------------------------------------------------------------
+
+@st.composite
+def configurations(draw):
+    states = draw(
+        st.lists(st.sampled_from("abc"), min_size=1, max_size=8)
+    )
+    n = len(states)
+    pairs = list(itertools.combinations(range(n), 2))
+    mask = draw(
+        st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs))
+    )
+    return Configuration(
+        states, [p for p, on in zip(pairs, mask) if on]
+    )
+
+
+class TestCensusRoundTrip:
+    """Census <-> Configuration conservation (the reconstruction is
+    census-faithful, not geometry-faithful — anonymity)."""
+
+    @given(configurations())
+    @settings(max_examples=80, deadline=None)
+    def test_reconstruction_is_census_identical(self, cfg):
+        census = cfg.census()
+        census.validate()
+        assert census.population == cfg.n
+        assert census.n_edges == cfg.n_active_edges
+        rebuilt = Configuration.from_census(census)
+        assert rebuilt.census() == census
+
+    @given(
+        configurations(),
+        st.lists(
+            st.tuples(st.sampled_from("mkd"), st.integers(0, 10**6)),
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_mutations_conserve_the_census_totals(self, cfg, ops):
+        # m: move a node to a fresh state, k: add a node (arrival),
+        # d: mark a node DEAD (the crash/revive census bookkeeping).
+        for op, pick in ops:
+            if op == "k":
+                cfg.add_node("a")
+            else:
+                u = pick % cfg.n
+                cfg.set_state(u, DEAD if op == "d" else "z")
+        census = cfg.census()
+        assert census.population == cfg.n
+        assert sum(
+            c for s, c in census.counts.items() if s != DEAD
+        ) == cfg.n - census.counts.get(DEAD, 0)
+        assert census.n_edges == cfg.n_active_edges
+        assert Configuration.from_census(census).census() == census
+
+    @given(configurations())
+    @settings(max_examples=80, deadline=None)
+    def test_derive_edge_census_conserves_totals(self, cfg):
+        census = cfg.census()
+        counts = dict(census.counts)
+        ends: dict = {}
+        for (a, b), e in census.edges.items():
+            ends[a] = ends.get(a, 0) + e
+            ends[b] = ends.get(b, 0) + e
+        derived = derive_edge_census(counts, ends, census.n_edges)
+        assert sum(derived.values()) == census.n_edges
+        for (a, b), e in derived.items():
+            assert (a, b) == census_pair_key(a, b)
+            assert 0 <= e <= census.class_pairs(a, b)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from("abc"), st.integers(0, 20),
+            min_size=1, max_size=3,
+        ),
+        st.integers(0, 60),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_census_sample_states_is_hypergeometric_shaped(
+        self, counts, k, seed
+    ):
+        total = sum(counts.values())
+        rng = random.Random(seed)
+        if k > total:
+            with pytest.raises(SimulationError):
+                census_sample_states(counts, k, rng)
+            return
+        drawn = census_sample_states(counts, k, rng)
+        assert sum(drawn.values()) == k
+        for s, c in drawn.items():
+            assert 0 < c <= counts[s]

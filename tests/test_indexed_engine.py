@@ -245,7 +245,7 @@ class TestCompiledProtocol:
 
 class TestIndexedEngineBasics:
     def test_registry_and_factory(self):
-        assert set(ENGINES) == {"sequential", "agitated", "indexed"}
+        assert set(ENGINES) == {"sequential", "agitated", "indexed", "count"}
         assert isinstance(make_engine("indexed", seed=1), IndexedSimulator)
         with pytest.raises(SimulationError):
             make_engine("warp-drive")
