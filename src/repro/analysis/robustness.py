@@ -336,8 +336,15 @@ class RobustnessRecord:
         return replace(self, elapsed_seconds=0.0)
 
 
-def run_robustness_trial(trial: RobustnessTrial) -> RobustnessRecord:
-    """Execute one :class:`RobustnessTrial` (module-level: picklable)."""
+def run_robustness_trial(
+    trial: RobustnessTrial, bus=None
+) -> RobustnessRecord:
+    """Execute one :class:`RobustnessTrial` (module-level: picklable).
+
+    ``bus`` (an optional :class:`~repro.core.trace.TraceBus`) streams
+    the run's events/census/fault frames; only the in-process serial
+    executor can pass one — process workers run unobserved.
+    """
     EXECUTION_COUNTER.increment()
     protocol = registry.instantiate(trial.protocol)
     scenario = Scenario(
@@ -359,10 +366,15 @@ def run_robustness_trial(trial: RobustnessTrial) -> RobustnessRecord:
         trial.n,
         trial.max_steps,
         config=config,
+        bus=bus,
         check_interval=trial.check_interval,
         require_convergence=False,
     )
     elapsed = time.perf_counter() - start
+    if bus is not None:
+        from repro.core.simulator import run_summary
+
+        bus.run_finished(run_summary(result))
     alive = survivors(result.config)
     survived = result.converged and bool(
         protocol.target_reached(compact_survivors(result.config))

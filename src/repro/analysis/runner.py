@@ -380,6 +380,7 @@ def run_one(
     max_steps: int | None = None,
     check_interval: int = 1,
     scenario: Scenario | None = None,
+    bus=None,
 ) -> TrialRecord:
     """Run one already-instantiated protocol and record the outcome.
 
@@ -407,10 +408,15 @@ def run_one(
         n,
         max_steps,
         config=config,
+        bus=bus,
         check_interval=check_interval,
         require_convergence=require_convergence,
     )
     elapsed = time.perf_counter() - start
+    if bus is not None:
+        from repro.core.simulator import run_summary
+
+        bus.run_finished(run_summary(result))
     return TrialRecord(
         n=n,
         trial=trial,
@@ -424,8 +430,13 @@ def run_one(
     )
 
 
-def run_trial(trial: TrialSpec) -> TrialRecord:
-    """Execute one :class:`TrialSpec` (module-level: picklable)."""
+def run_trial(trial: TrialSpec, bus=None) -> TrialRecord:
+    """Execute one :class:`TrialSpec` (module-level: picklable).
+
+    ``bus`` (an optional :class:`~repro.core.trace.TraceBus`) streams
+    the run's events/census; only the in-process serial executor can
+    pass one — process workers run unobserved.
+    """
     protocol = registry.instantiate(trial.protocol)
     return run_one(
         protocol,
@@ -437,6 +448,7 @@ def run_trial(trial: TrialSpec) -> TrialRecord:
         max_steps=trial.max_steps,
         check_interval=trial.check_interval,
         scenario=trial.scenario,
+        bus=bus,
     )
 
 

@@ -30,6 +30,15 @@ processes::
     repro-net results job-1 --out sweep.json
     repro-net cancel job-1
 
+Watch a run live — a local browser dashboard fed by the streaming
+observability bus over server-sent events (no polling).  The target is
+either a job id on a running service (submit it with ``--stream`` for
+per-trial census frames) or a protocol spec executed in-process::
+
+    repro-net submit cycle-cover --trials 10 --stream
+    repro-net watch job-1
+    repro-net watch simple-global-line -n 200 --port 8650
+
 Run under a non-default scenario — scheduler, fault injection, initial
 configuration (see ``docs/experiments.md``)::
 
@@ -322,6 +331,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="poll until the job finishes and print its summary",
     )
     submit_p.add_argument(
+        "--stream", action="store_true",
+        help="ask the service to publish per-trial census frames on the "
+        "job's event stream (for 'watch'; workers=1 services only)",
+    )
+    submit_p.add_argument(
         "--out", default=None, metavar="PATH",
         help="with --wait: write the finished SweepResult as JSON "
         "('-' for stdout)",
@@ -363,6 +377,52 @@ def _build_parser() -> argparse.ArgumentParser:
     cancel_p.add_argument(
         "--url", default=DEFAULT_URL,
         help=f"service endpoint (default: {DEFAULT_URL})",
+    )
+
+    watch_p = sub.add_parser(
+        "watch",
+        help="live dashboard for a running job ('job-N' on a service) "
+        "or a protocol run in-process",
+    )
+    watch_p.add_argument(
+        "target",
+        help="a job id ('job-1', streamed from the service at --url) or "
+        "a protocol registry spec (run locally; see 'run')",
+    )
+    watch_p.add_argument(
+        "-n", type=int, default=100,
+        help="population size for a local run (default: 100)",
+    )
+    watch_p.add_argument("--seed", type=int, default=0)
+    watch_p.add_argument(
+        "--engine", choices=sorted(ENGINES), default="indexed",
+        help="engine for a local run (default: indexed)",
+    )
+    watch_p.add_argument(
+        "--max-steps", type=int, default=None,
+        help="step budget for a local run",
+    )
+    watch_p.add_argument(
+        "--census-interval", type=int, default=None, metavar="STEPS",
+        help="census sampling stride for a local run "
+        "(default: auto-scale to n; 0 = every effective step)",
+    )
+    _add_scenario_arguments(watch_p)
+    watch_p.add_argument(
+        "--url", default=DEFAULT_URL,
+        help=f"service endpoint for job targets (default: {DEFAULT_URL})",
+    )
+    watch_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="dashboard bind address (default: 127.0.0.1)",
+    )
+    watch_p.add_argument(
+        "--port", type=int, default=0,
+        help="dashboard port (default: 0 = pick an ephemeral port)",
+    )
+    watch_p.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for a fixed time then exit (default: until Ctrl-C)",
     )
 
     bench_p = sub.add_parser(
@@ -761,8 +821,12 @@ def _write_result_payload(payload: dict, out: str) -> None:
 def _cmd_submit(args: argparse.Namespace) -> int:
     spec = _sweep_spec_from_args(args)
     client = ServiceClient(args.url)
-    job = client.submit(spec.to_dict())
+    job = client.submit(
+        spec.to_dict(), stream=True if args.stream else None
+    )
     print(f"submitted {job['id']}: {job['total']} trials -> {args.url}")
+    if args.stream:
+        print(f"watch with: repro-net watch {job['id']} --url {args.url}")
     if not args.wait:
         print(f"poll with: repro-net status {job['id']} --url {args.url}")
         return 0
@@ -811,6 +875,54 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     client = ServiceClient(args.url)
     status = client.cancel(args.job)
     print(f"{status['id']}: {status['state']}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import re
+    import threading
+    import time
+
+    from repro.core.trace import FrameLog
+    from repro.viz.watch import WatchServer, follow_job, run_local_watch
+
+    log = FrameLog()
+    if re.fullmatch(r"job-\d+", args.target):
+        # Remote mode: relay the service job's SSE stream.  Validate the
+        # id up front so a typo fails immediately, not in the pump thread.
+        client = ServiceClient(args.url)
+        status = client.status(args.target)
+        title = f"repro-net watch {args.target} ({status['kind']})"
+        follow_job(client, args.target, log)
+    else:
+        scenario = _scenario_from_args(args)
+        if not scenario.is_default:
+            _apply_scenario_defaults(args, scenario)
+        registry.parse_spec(args.target)  # fail on a bad spec before serving
+        title = f"repro-net watch {args.target} n={args.n}"
+        run_local_watch(
+            args.target,
+            n=args.n,
+            seed=args.seed,
+            engine=args.engine,
+            log=log,
+            scenario=None if scenario.is_default else scenario,
+            max_steps=args.max_steps,
+            interval=args.census_interval,
+        )
+    server = WatchServer(log, host=args.host, port=args.port, title=title)
+    host, port = server.start()
+    print(f"watching at http://{host}:{port}")
+    print("routes: /  /events (SSE)  /census (JSON)  — Ctrl-C to stop")
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nstopping")
+    finally:
+        server.stop()
     return 0
 
 
@@ -1220,6 +1332,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_results(args)
         if args.command == "cancel":
             return _cmd_cancel(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
     except ReproError as exc:
         # Expected model/simulation failures (budget exhausted, unknown
         # protocol spec, bad configuration...) get a clean one-liner, not

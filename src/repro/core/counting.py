@@ -81,6 +81,7 @@ from repro.core.faults import (
     compile_fault_plan,
 )
 from repro.core.simulator import ENGINES, IndexedSimulator, RunResult, _join_state
+from repro.core.trace import CensusFrame, FaultFrame, RunMeta, TraceBus
 
 #: Fault spec names whose semantics name concrete node/edge identities;
 #: anonymity-aware routing declines them (see :meth:`CountSimulator.supports`).
@@ -303,6 +304,11 @@ class CountSimulator(IndexedSimulator):
         Population size at which the census leap regime engages; below
         it the run delegates to the (distributionally exact) indexed
         path.  ``None`` uses :data:`DEFAULT_LEAP_THRESHOLD`.
+    census_interval:
+        Minimum scheduler steps between the census frames the leap
+        regime publishes to a ``bus`` (0 = one frame per applied leap).
+        ``None`` auto-scales to the alive population, keeping frame
+        volume logarithmic-ish in the run length.
     """
 
     #: Below this population the exact indexed path runs; above it the
@@ -316,17 +322,22 @@ class CountSimulator(IndexedSimulator):
     #: Hard cap on firings per leap.
     MAX_LEAP = 1 << 20
 
+    #: Registry name, stamped into :class:`~repro.core.trace.RunMeta`.
+    engine_name = "count"
+
     def __init__(
         self,
         seed: int | None = None,
         faults: tuple = (),
         *,
         leap_threshold: int | None = None,
+        census_interval: int | None = None,
     ) -> None:
         super().__init__(seed, faults)
         self.leap_threshold = (
             self.DEFAULT_LEAP_THRESHOLD if leap_threshold is None else leap_threshold
         )
+        self.census_interval = census_interval
         #: Optional observer called as ``(steps, counts, ends, k)`` after
         #: every applied leap — state counts and active-endpoint masses
         #: keyed by interned ids.  Used by the test harness and handy for
@@ -369,11 +380,15 @@ class CountSimulator(IndexedSimulator):
         config: Configuration | None = None,
         stop=None,
         trace=None,
+        bus: TraceBus | None = None,
         check_interval: int = 1,
         require_convergence: bool = False,
         max_effective_steps: int | None = None,
         copy_config: bool = True,
     ) -> RunResult:
+        # A trace (per-event storage) disqualifies leaping; a bus does
+        # not — the leap regime streams sampled census frames instead,
+        # so observability composes with tau-leaping.
         if not self._leap_eligible(n, stop, trace, max_effective_steps):
             return super().run(
                 protocol,
@@ -382,6 +397,7 @@ class CountSimulator(IndexedSimulator):
                 config=config,
                 stop=stop,
                 trace=trace,
+                bus=bus,
                 check_interval=check_interval,
                 require_convergence=require_convergence,
                 max_effective_steps=max_effective_steps,
@@ -393,6 +409,7 @@ class CountSimulator(IndexedSimulator):
             max_steps,
             config=config,
             stop=stop,
+            bus=bus,
             require_convergence=require_convergence,
         )
         if result is None:
@@ -405,6 +422,7 @@ class CountSimulator(IndexedSimulator):
                 config=config,
                 stop=stop,
                 trace=trace,
+                bus=bus,
                 check_interval=check_interval,
                 require_convergence=require_convergence,
                 max_effective_steps=max_effective_steps,
@@ -423,6 +441,7 @@ class CountSimulator(IndexedSimulator):
         *,
         config: Configuration | None,
         stop,
+        bus: TraceBus | None = None,
         require_convergence: bool,
     ) -> RunResult | None:
         if n < 2:
@@ -509,10 +528,42 @@ class CountSimulator(IndexedSimulator):
 
         # Probe the certificate: if it needs per-node structure, the
         # caller falls back to the exact engine (no steps consumed yet).
+        # Probing first also keeps the bus quiet until the leap regime
+        # is committed — a fallback run re-publishes from the exact path.
         try:
             probe = bool(stabilized(view()))
         except Exception:
             return None
+
+        def raw_census() -> dict:
+            raw = {state_of(s): c for s, c in counts.items() if c > 0}
+            if dead_count:
+                raw[DEAD] = dead_count
+            return raw
+
+        last_census_step = -1
+
+        def emit_census(step: int, force: bool = False) -> None:
+            """Publish a sampled census frame: at most one per
+            ``census_interval`` steps (auto: one per ``alive`` steps),
+            plus forced frames at termination."""
+            nonlocal last_census_step
+            stride = (
+                self.census_interval
+                if self.census_interval is not None
+                else max(1, alive)
+            )
+            if step == last_census_step:
+                return  # already published for this step
+            if not force and step - last_census_step < stride:
+                return
+            last_census_step = step
+            bus.census(CensusFrame(step, raw_census(), n_edges, effective))
+
+        if bus is not None:
+            bus.run_started(RunMeta(
+                protocol.name, n, self.engine_name, raw_census(), n_edges,
+            ))
 
         def certificate() -> bool:
             try:
@@ -573,9 +624,11 @@ class CountSimulator(IndexedSimulator):
         def apply_census_faults(at: int) -> bool:
             nonlocal alive, dead_count, n_edges
             changed = False
+            kinds: list[str] = []
             facade = _PlanFacade(alive, dead_count)
             synthetic_alive = list(range(alive))
             for action in plan.actions_at(at, facade, synthetic_alive):
+                kinds.append(action.kind)
                 if action.kind == "crash":
                     k = min(len(action.nodes), alive)
                     if k <= 0:
@@ -637,6 +690,8 @@ class CountSimulator(IndexedSimulator):
                     raise SimulationError(
                         f"fault kind {action.kind!r} is not census-representable"
                     )
+            if changed and bus is not None:
+                bus.fault(FaultFrame(at, tuple(kinds), raw_census(), n_edges))
             return changed
 
         def class_weights() -> list[tuple[tuple[int, int, int], float]]:
@@ -733,6 +788,8 @@ class CountSimulator(IndexedSimulator):
 
         del probe  # only needed to validate the census view
         if certificate() and 0 >= horizon:
+            if bus is not None:
+                emit_census(0, force=True)
             return self._result(
                 True, 0, 0, 0, 0, "stabilized",
                 counts, ends, n_edges, dead_count, state_of,
@@ -750,6 +807,8 @@ class CountSimulator(IndexedSimulator):
                     last_change = steps
                     last_output = steps
                 if steps >= horizon and certificate():
+                    if bus is not None:
+                        emit_census(steps, force=True)
                     return self._result(
                         True, steps, effective, last_change, last_output,
                         "stabilized", counts, ends, n_edges, dead_count, state_of,
@@ -767,6 +826,8 @@ class CountSimulator(IndexedSimulator):
                         break
                     steps = fault_next
                     continue
+                if bus is not None:
+                    emit_census(steps, force=True)
                 return self._result(
                     True, steps, effective, last_change, last_output,
                     "quiescent", counts, ends, n_edges, dead_count, state_of,
@@ -837,6 +898,8 @@ class CountSimulator(IndexedSimulator):
             prev_k = k
             if self.leap_hook is not None:
                 self.leap_hook(steps, counts, ends, k)
+            if bus is not None:
+                emit_census(steps)
             if changed:
                 last_change = steps
             if out_any:
@@ -844,6 +907,8 @@ class CountSimulator(IndexedSimulator):
             if certificate() and steps >= horizon and (
                 fault_next is None or fault_next > steps
             ):
+                if bus is not None:
+                    emit_census(steps, force=True)
                 return self._result(
                     True, steps, effective, last_change, last_output,
                     "stabilized", counts, ends, n_edges, dead_count, state_of,
@@ -853,6 +918,8 @@ class CountSimulator(IndexedSimulator):
                 f"{protocol.name} did not stabilize within budget (n={n})",
                 steps,
             )
+        if bus is not None:
+            emit_census(steps, force=True)
         return self._result(
             False, steps, effective, last_change, last_output,
             "max_steps", counts, ends, n_edges, dead_count, state_of,

@@ -96,7 +96,14 @@ from repro.core.faults import DEAD, FaultModel, compile_fault_plan
 from repro.core.indexing import IndexedSet, PairClassIndex
 from repro.core.protocol import Protocol, resolve, sample_outcome
 from repro.core.scheduler import Scheduler, UniformRandomScheduler
-from repro.core.trace import Event, Trace
+from repro.core.trace import (
+    Event,
+    FaultFrame,
+    RunMeta,
+    Trace,
+    TraceBus,
+    merge_sinks,
+)
 
 StopPredicate = Callable[[Configuration], bool]
 
@@ -260,6 +267,9 @@ class SequentialSimulator:
         self.seed = seed
         self.faults = tuple(faults)
 
+    #: Registry name, stamped into :class:`~repro.core.trace.RunMeta`.
+    engine_name = "sequential"
+
     @classmethod
     def supports(cls, scenario) -> bool:
         """The reference engine drives every scenario (it walks each
@@ -275,6 +285,7 @@ class SequentialSimulator:
         config: Configuration | None = None,
         stop: StopPredicate | None = None,
         trace: Trace | None = None,
+        bus: TraceBus | None = None,
         check_interval: int = 1,
         require_convergence: bool = False,
         copy_config: bool = True,
@@ -306,6 +317,13 @@ class SequentialSimulator:
         last_output_change = 0
         since_check = 0
 
+        publish = merge_sinks(trace, bus)
+        if publish is not None:
+            publish.run_started(RunMeta(
+                protocol.name, n, self.engine_name,
+                dict(cfg.state_counts()), cfg.n_active_edges,
+            ))
+
         plan = compile_fault_plan(self.faults, n, self.seed, protocol)
         dead: set[int] = set()
         fault_next = plan.next_step(-1) if plan is not None else None
@@ -325,8 +343,10 @@ class SequentialSimulator:
         def apply_fault_actions(at: int) -> bool:
             nonlocal n, stream_stale
             changed = False
+            kinds: list[str] = []
             alive = [u for u in range(n) if u not in dead]
             for action in plan.actions_at(at, cfg, alive):
+                kinds.append(action.kind)
                 if action.kind == "crash":
                     for w in action.nodes:
                         if w in dead:
@@ -370,6 +390,11 @@ class SequentialSimulator:
                             cfg.set_state(w, _join_state(protocol))
                             dead.discard(w)
                             changed = True
+            if changed and publish is not None:
+                publish.fault(FaultFrame(
+                    at, tuple(kinds),
+                    dict(cfg.state_counts()), cfg.n_active_edges,
+                ))
             return changed
 
         def drain_faults() -> bool:
@@ -437,8 +462,8 @@ class SequentialSimulator:
                 assert result.event is not None
                 if _output_affected(protocol, result, result.event):
                     last_output_change = steps
-                if trace is not None:
-                    trace.record(result.event, cfg)
+                if publish is not None:
+                    publish.interaction(result.event, cfg)
                 since_check += 1
             if fault_next is not None and fault_next <= steps:
                 if drain_faults():
@@ -496,6 +521,9 @@ class AgitatedSimulator:
         self.seed = seed
         self.faults = tuple(faults)
 
+    #: Registry name, stamped into :class:`~repro.core.trace.RunMeta`.
+    engine_name = "agitated"
+
     @classmethod
     def supports(cls, scenario) -> bool:
         """Event-driven: requires the uniform random scheduler (the
@@ -512,6 +540,7 @@ class AgitatedSimulator:
         config: Configuration | None = None,
         stop: StopPredicate | None = None,
         trace: Trace | None = None,
+        bus: TraceBus | None = None,
         check_interval: int = 1,
         require_convergence: bool = False,
         max_effective_steps: int | None = None,
@@ -531,6 +560,13 @@ class AgitatedSimulator:
         is_effective = protocol.is_effective
         state = cfg.state
         edge_state = cfg.edge_state
+
+        publish = merge_sinks(trace, bus)
+        if publish is not None:
+            publish.run_started(RunMeta(
+                protocol.name, n, self.engine_name,
+                dict(cfg.state_counts()), cfg.n_active_edges,
+            ))
 
         effective_pairs = _EffectiveSet()
         for u in range(n):
@@ -561,8 +597,10 @@ class AgitatedSimulator:
         def apply_fault_actions(at: int) -> bool:
             nonlocal m, n
             changed = False
+            kinds: list[str] = []
             alive = [u for u in range(n) if u not in dead]
             for action in plan.actions_at(at, cfg, alive):
+                kinds.append(action.kind)
                 if action.kind == "crash":
                     for w in action.nodes:
                         if w in dead:
@@ -627,6 +665,11 @@ class AgitatedSimulator:
                         changed = True
             count = n - len(dead)
             m = count * (count - 1) // 2
+            if changed and publish is not None:
+                publish.fault(FaultFrame(
+                    at, tuple(kinds),
+                    dict(cfg.state_counts()), cfg.n_active_edges,
+                ))
             return changed
 
         steps = 0
@@ -710,8 +753,8 @@ class AgitatedSimulator:
             assert result.event is not None
             if _output_affected(protocol, result, result.event):
                 last_output_change = steps
-            if trace is not None:
-                trace.record(result.event, cfg)
+            if publish is not None:
+                publish.interaction(result.event, cfg)
             if result.u_state_changed or result.v_state_changed:
                 if result.u_state_changed:
                     refresh_node(u)
@@ -765,6 +808,9 @@ class IndexedSimulator:
         self.seed = seed
         self.faults = tuple(faults)
 
+    #: Registry name, stamped into :class:`~repro.core.trace.RunMeta`.
+    engine_name = "indexed"
+
     @classmethod
     def supports(cls, scenario) -> bool:
         """Event-driven: requires the uniform random scheduler (the
@@ -781,6 +827,7 @@ class IndexedSimulator:
         config: Configuration | None = None,
         stop: StopPredicate | None = None,
         trace: Trace | None = None,
+        bus: TraceBus | None = None,
         check_interval: int = 1,
         require_convergence: bool = False,
         max_effective_steps: int | None = None,
@@ -797,6 +844,12 @@ class IndexedSimulator:
             raise SimulationError("need at least 2 nodes")
         stabilized = stop if stop is not None else protocol.stabilized
         m = n * (n - 1) // 2
+        publish = merge_sinks(trace, bus)
+        if publish is not None:
+            publish.run_started(RunMeta(
+                protocol.name, n, self.engine_name,
+                dict(cfg.state_counts()), cfg.n_active_edges,
+            ))
         compiled = protocol.compile()
         intern = compiled.intern
         state_of = compiled.state_of
@@ -828,8 +881,10 @@ class IndexedSimulator:
         def apply_fault_actions(at: int) -> bool:
             nonlocal m, n
             changed = False
+            kinds: list[str] = []
             alive = [u for u in range(n) if u not in dead]
             for action in plan.actions_at(at, cfg, alive):
+                kinds.append(action.kind)
                 if action.kind == "crash":
                     for w in action.nodes:
                         if w in dead:
@@ -908,6 +963,11 @@ class IndexedSimulator:
                         index.refresh_involving(revived_states)
             count = n - len(dead)
             m = count * (count - 1) // 2
+            if changed and publish is not None:
+                publish.fault(FaultFrame(
+                    at, tuple(kinds),
+                    dict(cfg.state_counts()), cfg.n_active_edges,
+                ))
             return changed
 
         steps = 0
@@ -1048,8 +1108,8 @@ class IndexedSimulator:
             )
             if _output_affected(protocol, result, event):
                 last_output_change = steps
-            if trace is not None:
-                trace.record(event, cfg)
+            if publish is not None:
+                publish.interaction(event, cfg)
             since_check += 1
             if since_check >= check_interval:
                 since_check = 0
@@ -1097,6 +1157,19 @@ def make_engine(engine: str, seed: int | None = None):
     return cls(seed=seed)
 
 
+def run_summary(result: RunResult) -> dict:
+    """The JSON-able terminal summary a driver publishes as the bus's
+    ``run_finished`` payload."""
+    return {
+        "converged": result.converged,
+        "steps": result.steps,
+        "effective": result.effective_steps,
+        "last_change": result.last_change_step,
+        "last_output_change": result.last_output_change_step,
+        "stop_reason": result.stop_reason,
+    }
+
+
 def run_to_convergence(
     protocol: Protocol,
     n: int,
@@ -1104,6 +1177,7 @@ def run_to_convergence(
     seed: int | None = None,
     max_steps: int | None = None,
     trace: Trace | None = None,
+    bus: TraceBus | None = None,
     check_interval: int = 1,
     engine: str = "indexed",
     scenario=None,
@@ -1131,15 +1205,21 @@ def run_to_convergence(
         sim = make_scenario_engine(engine, seed, scenario)
         config = scenario.build_initial(protocol, n)
         require_convergence = False
-    return sim.run(
+    result = sim.run(
         protocol,
         n,
         max_steps,
         config=config,
         trace=trace,
+        bus=bus,
         check_interval=check_interval,
         require_convergence=require_convergence,
     )
+    if bus is not None:
+        # Engines publish start/interaction/census/fault; the driver
+        # owns the terminal summary (one site instead of one per return).
+        bus.run_finished(run_summary(result))
+    return result
 
 
 # Imported last so the two modules can reference each other: counting.py

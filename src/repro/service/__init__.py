@@ -11,14 +11,23 @@ except lazily through its optional ``cache=`` parameters):
 - :mod:`repro.service.jobs` — asyncio :class:`JobService`: expands
   specs, dedupes against the store, shards misses across the process
   pool in batches, streams progress.
+- :mod:`repro.service.sse` — the server-sent-events wire format shared
+  by the job event stream and the ``repro-net watch`` dashboard.
 - :mod:`repro.service.api` — plain-JSON HTTP front end
-  (:class:`ExperimentService`, ``repro-net serve``).
+  (:class:`ExperimentService`, ``repro-net serve``) plus the SSE
+  ``GET /jobs/<id>/events`` route.
 - :mod:`repro.service.client` — stdlib urllib :class:`ServiceClient`.
 """
 
 from repro.service.api import ExperimentService, serve
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.jobs import Job, JobService
+from repro.service.sse import (
+    HEARTBEAT_SECONDS,
+    parse_sse,
+    send_sse_headers,
+    write_sse,
+)
 from repro.service.keys import (
     SCHEMA_VERSION,
     behavior_digest,
@@ -29,6 +38,7 @@ from repro.service.keys import (
 from repro.service.store import GcStats, ResultStore, StoreError, StoreStats
 
 __all__ = [
+    "HEARTBEAT_SECONDS",
     "SCHEMA_VERSION",
     "ExperimentService",
     "GcStats",
@@ -41,7 +51,10 @@ __all__ = [
     "StoreStats",
     "behavior_digest",
     "code_digest",
+    "parse_sse",
     "robustness_trial_key",
+    "send_sse_headers",
     "serve",
     "trial_key",
+    "write_sse",
 ]

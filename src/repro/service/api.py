@@ -11,13 +11,23 @@ blocks a status poll.
 Routes (all payloads JSON)::
 
     GET  /health              service liveness, worker/store summary
-    POST /jobs                {"kind": "sweep"|"robustness", "spec": {...}}
+    POST /jobs                {"kind": "sweep"|"robustness", "spec": {...},
+                               "stream": true|false|null}
     GET  /jobs                every job's status, submission order
     GET  /jobs/<id>           one job's status (progress counts)
+    GET  /jobs/<id>/events    server-sent events: live progress/census
+                              frames (replays history, then follows)
     GET  /jobs/<id>/result    (possibly partial) result payload
     POST /jobs/<id>/cancel    cooperative cancellation
     GET  /store/stats         result-store footprint + hit counters
     POST /store/gc            collect stray tmp files / orphaned entries
+
+``/jobs/<id>/events`` streams ``text/event-stream`` (see
+:mod:`repro.service.sse`) instead of JSON: one ``status`` frame per
+batch boundary, per-trial ``meta``/``census``/``fault``/``run-end``
+frames when census streaming is on (workers == 1 and the job was
+submitted with ``"stream": true`` — or someone is watching), and a
+terminal ``end`` frame.  Clients follow it instead of polling.
 
 Errors come back as ``{"error": "..."}`` with 400 (bad spec/payload),
 404 (unknown job or route) or 503 (no store configured).  The wire
@@ -31,6 +41,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -44,6 +55,7 @@ from repro.core.serialization import (
 )
 from repro.service.jobs import Job, JobError, JobService
 from repro.service.keys import SCHEMA_VERSION
+from repro.service.sse import HEARTBEAT_SECONDS, write_sse
 from repro.service.store import ResultStore
 
 DEFAULT_HOST = "127.0.0.1"
@@ -140,22 +152,47 @@ class ExperimentService:
         self._http_thread.start()
         return self.host, self.port
 
-    def stop(self) -> None:
-        """Shut the HTTP server and the loop down (idempotent)."""
+    def stop(self) -> list[str]:
+        """Shut the HTTP server and the loop down (idempotent).
+
+        Each worker thread gets a bounded ``join``; a thread still alive
+        afterwards is a *wedged shutdown* — its name is returned and a
+        :class:`RuntimeWarning` fires, instead of the old silent
+        fall-through that reported success while threads kept running.
+        An empty list means everything actually stopped.
+        """
+        wedged: list[str] = []
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
             self._httpd = None
         if self._http_thread is not None:
             self._http_thread.join(timeout=5)
+            if self._http_thread.is_alive():
+                wedged.append(self._http_thread.name)
             self._http_thread = None
         if self._loop is not None:
             self._loop.call_soon_threadsafe(self._loop.stop)
+            loop_stopped = True
             if self._loop_thread is not None:
                 self._loop_thread.join(timeout=5)
+                if self._loop_thread.is_alive():
+                    wedged.append(self._loop_thread.name)
+                    loop_stopped = False
                 self._loop_thread = None
-            self._loop.close()
+            if loop_stopped:
+                # Closing a loop that is still running raises; leave a
+                # wedged loop open — the daemon thread dies with us.
+                self._loop.close()
             self._loop = None
+        if wedged:
+            warnings.warn(
+                "service shutdown wedged: thread(s) "
+                f"{', '.join(wedged)} did not stop within 5s",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return wedged
 
     def call(self, coro, timeout: float | None = None) -> Any:
         """Run ``coro`` on the service loop from any thread and return
@@ -206,8 +243,11 @@ class ExperimentService:
             payload = body.get("spec")
             if not isinstance(payload, dict):
                 raise ApiError("missing 'spec' object in body")
+            stream = body.get("stream")
+            if stream is not None and not isinstance(stream, bool):
+                raise ApiError("'stream' must be a boolean (or omitted)")
             spec = decoder(payload)
-            job = self.call(self.jobs.submit(spec))
+            job = self.call(self.jobs.submit(spec, stream=stream))
             return 201, {"job": self.call(_status(job))}
         if method == "GET" and len(parts) == 1:
             statuses = self.call(_statuses(self.jobs))
@@ -279,7 +319,30 @@ def _make_handler(service: ExperimentService) -> type:
             self.end_headers()
             self.wfile.write(body)
 
+        def _stream_events(self, job_id: str) -> None:
+            """The one non-JSON route: follow a job's frame log as SSE.
+
+            Handled outside ``service.handle`` because it writes an
+            unbounded body — ``_respond``'s Content-Length contract
+            doesn't apply.  Replays buffered frames, then follows live
+            with heartbeats; ends when the job's log closes."""
+            try:
+                job = service._get_job(job_id)
+            except ApiError as exc:
+                self._respond(exc.status, {"error": str(exc)})
+                return
+            write_sse(self, job.events.follow(heartbeat=HEARTBEAT_SECONDS))
+
         def _dispatch(self, method: str) -> None:
+            parts = [p for p in self.path.split("/") if p]
+            if (
+                method == "GET"
+                and len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "events"
+            ):
+                self._stream_events(parts[1])
+                return
             body: dict | None = None
             length = int(self.headers.get("Content-Length") or 0)
             if length:

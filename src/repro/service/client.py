@@ -15,8 +15,11 @@ import time
 import urllib.error
 import urllib.request
 
+from typing import Iterator
+
 from repro.core.errors import ReproError
 from repro.service.api import DEFAULT_HOST, DEFAULT_PORT
+from repro.service.sse import parse_sse
 
 DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
 
@@ -65,12 +68,22 @@ class ServiceClient:
     def health(self) -> dict:
         return self._request("GET", "/health")
 
-    def submit(self, spec_dict: dict, kind: str = "sweep") -> dict:
+    def submit(
+        self,
+        spec_dict: dict,
+        kind: str = "sweep",
+        stream: bool | None = None,
+    ) -> dict:
         """Submit a spec payload (``spec.to_dict()``); returns the job
-        status dict (``{"id": ..., "state": ...}``)."""
-        payload = self._request(
-            "POST", "/jobs", {"kind": kind, "spec": spec_dict}
-        )
+        status dict (``{"id": ..., "state": ...}``).
+
+        ``stream=True`` asks the service to publish per-trial census
+        frames on the job's event stream (see :meth:`events`);
+        ``None`` leaves the service's watch-triggered default."""
+        body: dict = {"kind": kind, "spec": spec_dict}
+        if stream is not None:
+            body["stream"] = stream
+        payload = self._request("POST", "/jobs", body)
         return payload["job"]
 
     def jobs(self) -> list[dict]:
@@ -87,6 +100,31 @@ class ServiceClient:
     def cancel(self, job_id: str) -> dict:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Follow a job's SSE stream; yields one dict per frame.
+
+        Replays the job's buffered frames, then blocks on live ones
+        until the terminal ``end`` frame closes the stream.  The
+        server's 10s heartbeats keep the socket under the read timeout,
+        so a healthy but idle stream never raises."""
+        req = urllib.request.Request(
+            f"{self.url}/jobs/{job_id}/events",
+            headers={"Accept": "text/event-stream"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                yield from parse_sse(resp)
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except ValueError:
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None
+
     def wait(
         self,
         job_id: str,
@@ -96,7 +134,9 @@ class ServiceClient:
         """Poll until the job is terminal; returns its final status.
 
         Raises :class:`ServiceError` if the job ``failed`` or the
-        timeout elapses first.
+        timeout elapses first.  The deadline is checked *before*
+        sleeping and the final sleep is capped to the remaining budget,
+        so a ``timeout=1`` wait never overshoots by a poll interval.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
@@ -107,12 +147,16 @@ class ServiceClient:
                         f"job {job_id} failed: {status['error']}"
                     )
                 return status
-            if deadline is not None and time.monotonic() > deadline:
-                raise ServiceError(
-                    f"timed out waiting for job {job_id} "
-                    f"({status['completed']}/{status['total']} done)"
-                )
-            time.sleep(poll)
+            delay = poll
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(
+                        f"timed out waiting for job {job_id} "
+                        f"({status['completed']}/{status['total']} done)"
+                    )
+                delay = min(poll, remaining)
+            time.sleep(delay)
 
     def store_stats(self) -> dict:
         return self._request("GET", "/store/stats")["store"]

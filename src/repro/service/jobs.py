@@ -50,6 +50,7 @@ from repro.analysis.runner import (
     run_trial,
 )
 from repro.core.errors import ReproError
+from repro.core.trace import FrameAdapter, FrameLog, TraceBus
 from repro.service.keys import code_digest, robustness_trial_key, trial_key
 from repro.service.store import ResultStore
 
@@ -90,7 +91,13 @@ class Job:
     exact trial order (the executor-equivalence contract).
     """
 
-    def __init__(self, job_id: str, kind: str, spec: ServiceSpec) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        kind: str,
+        spec: ServiceSpec,
+        stream: bool | None = None,
+    ) -> None:
         self.id = job_id
         self.kind = kind
         self.spec = spec
@@ -106,6 +113,20 @@ class Job:
         self.finished_at: float | None = None
         self.cancel_requested = False
         self.task: asyncio.Task | None = None
+        #: Census-streaming policy: ``True`` forces per-trial census
+        #: frames, ``False`` suppresses them, ``None`` (auto) streams
+        #: only while someone follows :attr:`events` — and only on the
+        #: serial (workers == 1) executor either way.
+        self.stream = stream
+        #: The SSE frame log ``GET /jobs/<id>/events`` follows.
+        self.events = FrameLog()
+
+    def publish_status(self) -> None:
+        """Append a progress frame to the event stream (control frame:
+        never dropped by the log's census cap)."""
+        self.events.publish(
+            {"type": "status", **self.progress_dict()}, control=True
+        )
 
     @property
     def finished(self) -> bool:
@@ -125,8 +146,9 @@ class Job:
             return SweepResult(spec=self.spec, records=records)
         return RobustnessResult(spec=self.spec, records=records)
 
-    def status_dict(self) -> dict:
-        """The JSON status payload the API serves."""
+    def progress_dict(self) -> dict:
+        """The compact progress payload (status minus the spec) used as
+        the SSE ``status`` frame body."""
         return {
             "id": self.id,
             "kind": self.kind,
@@ -139,8 +161,11 @@ class Job:
             "error": self.error,
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
-            "spec": self.spec.to_dict(),
         }
+
+    def status_dict(self) -> dict:
+        """The JSON status payload the API serves."""
+        return {**self.progress_dict(), "spec": self.spec.to_dict()}
 
 
 class JobService:
@@ -181,12 +206,20 @@ class JobService:
         return list(self._jobs.values())
 
     # ------------------------------------------------------------------
-    async def submit(self, spec: ServiceSpec) -> Job:
+    async def submit(
+        self, spec: ServiceSpec, stream: bool | None = None
+    ) -> Job:
         """Queue a spec for execution; returns immediately with the
-        (``queued``/``running``) job."""
+        (``queued``/``running``) job.
+
+        ``stream`` sets the job's census-streaming policy (see
+        :attr:`Job.stream`); the default streams census frames only
+        while the job's event stream has a live follower.
+        """
         kind = kind_of(spec)
-        job = Job(f"job-{next(self._ids)}", kind, spec)
+        job = Job(f"job-{next(self._ids)}", kind, spec, stream=stream)
         self._jobs[job.id] = job
+        job.publish_status()
         job.task = asyncio.create_task(self._execute(job))
         return job
 
@@ -214,9 +247,47 @@ class JobService:
                 job.finished_at = time.time()
                 if job.task is not None:
                     job.task.cancel()
+                # A task cancelled before its first step never runs
+                # _execute's finally block: settle the stream here.
+                self._finish_events(job)
         return job
 
+    @staticmethod
+    def _finish_events(job: Job) -> None:
+        """Terminal frames + close (idempotent: publishing to a closed
+        log is a no-op)."""
+        job.publish_status()
+        job.events.publish(
+            {"type": "end", "state": job.state, "error": job.error},
+            control=True,
+        )
+        job.events.close()
+
     # ------------------------------------------------------------------
+    def _stream_batch(self, run_fn, trials: list, job: Job) -> list:
+        """Serial in-process batch with a bus per trial: census/fault
+        frames land on the job's event log tagged with the trial's
+        coordinates.  Only valid at workers == 1 (the pool_map serial
+        contract — closures don't cross process boundaries)."""
+        records = []
+        for trial in trials:
+            bus = TraceBus()
+            bus.subscribe(FrameAdapter(
+                job.events.publish,
+                extra={"n": trial.n, "trial": trial.trial},
+            ))
+            records.append(run_fn(trial, bus=bus))
+        return records
+
+    def _wants_census(self, job: Job) -> bool:
+        """Stream per-trial census frames for the next batch?  Forced
+        policies win; auto streams only while someone is following the
+        job's SSE stream.  Process workers never stream (the bus can't
+        cross the pickle boundary)."""
+        if self.workers != 1 or job.stream is False:
+            return False
+        return job.stream is True or job.events.watched
+
     async def _execute(self, job: Job) -> None:
         run_fn, key_fn, envelope = JOB_KINDS[job.kind]
         job.state = "running"
@@ -238,6 +309,7 @@ class JobService:
                         job.completed += 1
             else:
                 pending = [(i, t, None) for i, t in enumerate(job.trials)]
+            job.publish_status()
             for start in range(0, len(pending), self.batch_size):
                 if job.cancel_requested:
                     job.state = "cancelled"
@@ -245,12 +317,15 @@ class JobService:
                 batch = pending[start:start + self.batch_size]
                 job.running = len(batch)
                 try:
-                    records = await asyncio.to_thread(
-                        pool_map,
-                        run_fn,
-                        [trial for _, trial, _ in batch],
-                        self.workers,
-                    )
+                    batch_trials = [trial for _, trial, _ in batch]
+                    if self._wants_census(job):
+                        records = await asyncio.to_thread(
+                            self._stream_batch, run_fn, batch_trials, job,
+                        )
+                    else:
+                        records = await asyncio.to_thread(
+                            pool_map, run_fn, batch_trials, self.workers,
+                        )
                 finally:
                     job.running = 0
                 for (i, _, key), record in zip(batch, records):
@@ -258,6 +333,7 @@ class JobService:
                     job.completed += 1
                     if self.store is not None and key is not None:
                         self.store.put(key, record, envelope)
+                job.publish_status()
             job.state = "cancelled" if job.cancel_requested else "done"
         except asyncio.CancelledError:
             job.state = "cancelled"
@@ -266,3 +342,4 @@ class JobService:
             job.error = f"{type(exc).__name__}: {exc}"
         finally:
             job.finished_at = time.time()
+            self._finish_events(job)

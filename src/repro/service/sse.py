@@ -1,0 +1,71 @@
+"""Server-sent events over stdlib HTTP: writer and parser.
+
+One wire format for the whole observability layer — the experiment
+service's ``GET /jobs/<id>/events`` route, the ``repro-net watch``
+dashboard's ``/events`` route, and :meth:`ServiceClient.events` all
+speak it.  Frames are JSON objects, one per SSE ``data:`` record;
+heartbeat comment lines (``: keep-alive``) flow during idle stretches
+so both sides detect dead peers without a frame backlog.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+#: Seconds of silence between heartbeat comments on an idle stream.
+HEARTBEAT_SECONDS = 10.0
+
+
+def send_sse_headers(handler) -> None:
+    """Start an SSE response on a ``BaseHTTPRequestHandler``.
+
+    No ``Content-Length`` (the stream is unbounded), so under
+    HTTP/1.1 the connection is marked ``close`` — ``send_header``
+    flips ``handler.close_connection`` for us.
+    """
+    handler.send_response(200)
+    handler.send_header("Content-Type", "text/event-stream")
+    handler.send_header("Cache-Control", "no-cache")
+    handler.send_header("Connection", "close")
+    handler.end_headers()
+
+
+def write_sse(handler, frames: Iterable[dict | None]) -> None:
+    """Stream ``frames`` (dicts; ``None`` = heartbeat) to an SSE
+    response until the iterator ends or the client disconnects."""
+    send_sse_headers(handler)
+    try:
+        for frame in frames:
+            if frame is None:
+                handler.wfile.write(b": keep-alive\n\n")
+            else:
+                payload = json.dumps(frame).encode("utf-8")
+                handler.wfile.write(b"data: " + payload + b"\n\n")
+            handler.wfile.flush()
+    except (BrokenPipeError, ConnectionResetError, OSError):
+        pass  # client went away; nothing to clean up but the thread
+
+
+def parse_sse(stream: Iterable[bytes]) -> Iterator[dict]:
+    """Decode an SSE byte stream into its JSON frames.
+
+    Accepts any iterable of lines (``http.client.HTTPResponse`` is
+    one); comment lines are dropped, multi-line ``data:`` records are
+    joined per the SSE spec.
+    """
+    data_lines: list[str] = []
+    for raw in stream:
+        line = raw.decode("utf-8") if isinstance(raw, bytes) else raw
+        line = line.rstrip("\n").rstrip("\r")
+        if not line:
+            if data_lines:
+                yield json.loads("\n".join(data_lines))
+                data_lines = []
+            continue
+        if line.startswith(":"):
+            continue
+        if line.startswith("data:"):
+            data_lines.append(line[5:].lstrip())
+    if data_lines:
+        yield json.loads("\n".join(data_lines))

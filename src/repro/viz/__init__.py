@@ -1,4 +1,6 @@
-"""Visualization helpers: ASCII renderings and DOT export."""
+"""Visualization helpers: ASCII renderings, DOT export, and the live
+``repro-net watch`` dashboard (:mod:`repro.viz.watch` — imported
+lazily, not re-exported here, since it pulls in the service layer)."""
 
 from repro.viz.ascii_art import (
     adjacency_art,

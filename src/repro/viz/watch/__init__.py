@@ -1,0 +1,20 @@
+"""Live run dashboard: ``repro-net watch`` behind a stdlib HTTP server.
+
+Wiring: a frame *source* (:func:`follow_job` relaying a service job's
+SSE stream, or :func:`run_local_watch` executing a protocol in-process
+with a bus attached) fills a :class:`~repro.core.trace.FrameLog`, and a
+:class:`WatchServer` serves that log as a browser dashboard (``/``),
+an SSE stream (``/events``) and a JSON snapshot (``/census``).
+"""
+
+from repro.viz.watch.page import render_page
+from repro.viz.watch.server import WatchServer, census_snapshot
+from repro.viz.watch.sources import follow_job, run_local_watch
+
+__all__ = [
+    "WatchServer",
+    "census_snapshot",
+    "follow_job",
+    "render_page",
+    "run_local_watch",
+]

@@ -1,0 +1,110 @@
+"""Frame producers for the watch dashboard.
+
+A :class:`~repro.core.trace.FrameLog` doesn't care who fills it; these
+are the two pumps ``repro-net watch`` chooses between:
+
+* :func:`follow_job` — relay a *remote* job's SSE stream (from a
+  running ``repro-net serve``) into a local log, frame for frame.
+* :func:`run_local_watch` — execute a protocol *in this process* on a
+  background thread with a :class:`~repro.core.trace.TraceBus` +
+  :class:`~repro.core.trace.FrameAdapter` attached, so the dashboard
+  shows the run as it happens with no service in the middle.
+
+Both run on daemon threads and close the log when the source dries up,
+which is what ends the dashboard's SSE stream.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.runner import run_one
+from repro.core.scenario import Scenario
+from repro.core.trace import FrameAdapter, FrameLog, TraceBus
+from repro.protocols import registry
+
+#: Job-stream frame types that must survive the log's census cap.
+_CONTROL_TYPES = frozenset({"status", "end", "meta", "run-end"})
+
+
+def follow_job(client, job_id: str, log: FrameLog) -> threading.Thread:
+    """Pump ``client.events(job_id)`` into ``log`` on a daemon thread.
+
+    Control frames (status/terminal markers) are re-published as
+    control so they bypass the log's data cap, mirroring the server
+    side.  The log is closed when the remote stream ends — normally at
+    the job's ``end`` frame — or on a transport error, which is itself
+    reported as a failed ``end`` frame so the dashboard shows it.
+    """
+
+    def pump() -> None:
+        try:
+            for frame in client.events(job_id):
+                log.publish(
+                    frame, control=frame.get("type") in _CONTROL_TYPES
+                )
+        except Exception as exc:
+            log.publish(
+                {"type": "end", "state": "failed", "error": str(exc)},
+                control=True,
+            )
+        finally:
+            log.close()
+
+    thread = threading.Thread(
+        target=pump, name=f"watch-follow-{job_id}", daemon=True
+    )
+    thread.start()
+    return thread
+
+
+def run_local_watch(
+    protocol_spec: str,
+    *,
+    n: int,
+    seed: int,
+    engine: str,
+    log: FrameLog,
+    scenario: Scenario | None = None,
+    max_steps: int | None = None,
+    interval: int | None = None,
+) -> threading.Thread:
+    """Run one trial locally on a daemon thread, streaming its frames.
+
+    The run gets a private bus with a
+    :class:`~repro.core.trace.FrameAdapter` publishing into ``log``
+    (``interval`` is the census sampling stride; ``None`` auto-scales
+    to ``n``).  On completion — or failure, reported as a failed
+    ``end`` frame rather than a dead page — the log closes.
+    """
+    protocol = registry.instantiate(protocol_spec)
+
+    def work() -> None:
+        state = "done"
+        error = ""
+        try:
+            bus = TraceBus()
+            bus.subscribe(FrameAdapter(log.publish, interval=interval))
+            run_one(
+                protocol,
+                n=n,
+                trial=0,
+                seed=seed,
+                engine=engine,
+                max_steps=max_steps,
+                scenario=scenario,
+                bus=bus,
+            )
+        except Exception as exc:
+            state = "failed"
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            log.publish(
+                {"type": "end", "state": state, "error": error},
+                control=True,
+            )
+            log.close()
+
+    thread = threading.Thread(target=work, name="watch-local-run", daemon=True)
+    thread.start()
+    return thread
